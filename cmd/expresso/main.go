@@ -1,0 +1,256 @@
+// Command expresso verifies router configurations against arbitrary
+// external routes, reproducing the Expresso verifier (SIGCOMM 2024).
+//
+// Usage:
+//
+//	expresso check -file net.cfg [-props leak,hijack,traffic] [-bte 11537:888] [-minus]
+//	expresso check -dir configs/
+//	expresso stats -file net.cfg
+//	expresso gen -dataset full-old -out configs/
+//
+// Datasets: region1..region4, full-old, full-new, internet2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/netgen"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/symbolic"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "check":
+		cmdCheck(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "search-policy":
+		cmdSearchPolicy(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: expresso check|stats|gen|search-policy [flags]")
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "expresso: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func loadNetwork(file, dir string) *expresso.Network {
+	switch {
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		net, err := expresso.Load(string(data))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return net
+	case dir != "":
+		net, err := expresso.LoadDir(dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return net
+	default:
+		fatalf("one of -file or -dir is required")
+		return nil
+	}
+}
+
+func cmdCheck(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	file := fs.String("file", "", "configuration file")
+	dir := fs.String("dir", "", "directory of *.cfg files")
+	props := fs.String("props", "leak,hijack,traffic", "comma-separated properties: leak,hijack,traffic,blackhole,loop,bte")
+	bte := fs.String("bte", "", "community for the bte property, e.g. 11537:888")
+	minus := fs.Bool("minus", false, "run Expresso- (concrete AS paths)")
+	verbose := fs.Bool("v", false, "print every violation")
+	fs.Parse(args)
+
+	net := loadNetwork(*file, *dir)
+	opts := expresso.Options{}
+	if *minus {
+		opts.Mode = expresso.ExpressoMinusMode()
+	}
+	for _, p := range strings.Split(*props, ",") {
+		switch strings.TrimSpace(p) {
+		case "leak":
+			opts.Properties = append(opts.Properties, expresso.RouteLeakFree)
+		case "hijack":
+			opts.Properties = append(opts.Properties, expresso.RouteHijackFree)
+		case "traffic":
+			opts.Properties = append(opts.Properties, expresso.TrafficHijackFree)
+		case "blackhole":
+			opts.Properties = append(opts.Properties, expresso.BlackHoleFree)
+		case "loop":
+			opts.Properties = append(opts.Properties, expresso.LoopFree)
+		case "bte":
+			opts.Properties = append(opts.Properties, expresso.BlockToExternal)
+		case "":
+		default:
+			fatalf("unknown property %q", p)
+		}
+	}
+	if *bte != "" {
+		c, err := route.ParseCommunity(*bte)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.BTE = c
+	}
+
+	rep, err := net.Verify(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	s := rep.Stats
+	fmt.Printf("network: %d nodes, %d links, %d peers, %d prefixes, %d config lines\n",
+		s.Nodes, s.Links, s.Peers, s.Prefixes, s.ConfigLines)
+	fmt.Printf("stages:  SRC %v | routing analysis %v | SPF %v | forwarding analysis %v\n",
+		rep.Timing.SRC.Round(1e6), rep.Timing.RoutingAnalysis.Round(1e6),
+		rep.Timing.SPF.Round(1e6), rep.Timing.ForwardingAnalysis.Round(1e6))
+	fmt.Printf("state:   converged=%v iterations=%d symbolic routes=%d PECs=%d heap=%.1fMB\n",
+		rep.Converged, rep.Iterations, rep.RIBRoutes, rep.PECs, float64(rep.HeapBytes)/1e6)
+	counts := rep.CountByKind()
+	if len(counts) == 0 {
+		fmt.Println("result:  no property violations")
+		return
+	}
+	fmt.Printf("result:  %d violations:", len(rep.Violations))
+	for k, n := range counts {
+		fmt.Printf(" %s=%d", k, n)
+	}
+	fmt.Println()
+	if *verbose {
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	os.Exit(1)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	file := fs.String("file", "", "configuration file")
+	dir := fs.String("dir", "", "directory of *.cfg files")
+	fs.Parse(args)
+	net := loadNetwork(*file, *dir)
+	s := net.Topo.Statistics()
+	fmt.Printf("nodes\tlinks\tpeers\tprefixes\tconfig-lines\n")
+	fmt.Printf("%d\t%d\t%d\t%d\t%d\n", s.Nodes, s.Links, s.Peers, s.Prefixes, s.ConfigLines)
+}
+
+// cmdSearchPolicy reproduces Batfish's SearchRoutePolicies question on one
+// policy: which symbolic routes does it permit or deny, and how does it
+// transform them?
+func cmdSearchPolicy(args []string) {
+	fs := flag.NewFlagSet("search-policy", flag.ExitOnError)
+	file := fs.String("file", "", "configuration file")
+	dir := fs.String("dir", "", "directory of *.cfg files")
+	router := fs.String("router", "", "router name")
+	policy := fs.String("policy", "", "policy name")
+	action := fs.String("action", "permit", "permit or deny")
+	fs.Parse(args)
+
+	net := loadNetwork(*file, *dir)
+	d := net.Topo.Devices[*router]
+	if d == nil {
+		fatalf("unknown router %q", *router)
+	}
+	pol := d.Policies[*policy]
+	if pol == nil {
+		fatalf("router %s has no policy %q", *router, *policy)
+	}
+	eng := epvp.New(net.Topo, epvp.FullMode())
+	wantPermit := *action == "permit"
+	results := symbolic.SearchPolicy(eng.Ctx(), pol, wantPermit)
+	if len(results) == 0 {
+		fmt.Printf("no routes are %sed by %s\n", *action, *policy)
+		return
+	}
+	for i, r := range results {
+		fmt.Printf("class %d: %s\n", i+1, symbolic.DescribeGuard(eng.Ctx(), r.Guard))
+		if wantPermit {
+			if r.LocalPref != 0 {
+				fmt.Printf("  sets local-preference %d\n", r.LocalPref)
+			}
+			if r.MED != 0 {
+				fmt.Printf("  sets med %d\n", r.MED)
+			}
+			for _, c := range r.AddsCommunities {
+				fmt.Printf("  adds community %s\n", c)
+			}
+			if r.Prepends > 0 {
+				fmt.Printf("  prepends %d AS hop(s)\n", r.Prepends)
+			}
+		}
+	}
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "", "region1..region4, full-old, full-new, internet2")
+	out := fs.String("out", ".", "output directory")
+	peers := fs.Int("peers", 0, "restrict the number of external peers (0 = spec default)")
+	fs.Parse(args)
+
+	var text string
+	switch *dataset {
+	case "region1", "region2", "region3", "region4":
+		var i int
+		fmt.Sscanf(*dataset, "region%d", &i)
+		spec := netgen.CSPOldRegion(i)
+		if *peers > 0 {
+			spec = spec.WithPeers(*peers)
+		}
+		text = netgen.CSP(spec)
+	case "full-old":
+		spec := netgen.CSPOldFull()
+		if *peers > 0 {
+			spec = spec.WithPeers(*peers)
+		}
+		text = netgen.CSP(spec)
+	case "full-new":
+		spec := netgen.CSPNewFull()
+		if *peers > 0 {
+			spec = spec.WithPeers(*peers)
+		}
+		text = netgen.CSP(spec)
+	case "internet2":
+		spec := netgen.Internet2()
+		if *peers > 0 {
+			spec = spec.WithPeers(*peers)
+		}
+		text = netgen.GenerateI2(spec)
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	path := filepath.Join(*out, *dataset+".cfg")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(text))
+}

@@ -1,0 +1,57 @@
+// Egress: check the EgressPreference property of §6.3 on the Figure 4
+// network — "when multiple paths to the same Internet prefix exist, exit
+// through the preferred neighbor".
+//
+// PR1 raises the local preference of ISP1's routes to 200, so the network
+// intends ISP1 > ISP2 as the egress for the permitted Internet prefixes.
+// The check confirms the intended order holds and demonstrates that the
+// reversed order is violated (with the advertiser condition as a witness).
+//
+// Run with:
+//
+//	go run ./examples/egress
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/properties"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/spf"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func main() {
+	net, err := expresso.Load(testnet.Figure4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := epvp.New(net.Topo, epvp.FullMode())
+	cp := eng.Run()
+	dp := spf.Run(eng, cp)
+
+	dest := route.MustParsePrefix("128.0.0.0/2")
+
+	fmt.Printf("EgressPreference for traffic from PR1 to %s\n\n", dest)
+
+	check := func(order []string) {
+		fmt.Printf("preference order %v: ", order)
+		vs := properties.CheckEgressPreference(eng, dp, "PR1", dest, order)
+		if len(vs) == 0 {
+			fmt.Println("holds under every external-route environment")
+			return
+		}
+		fmt.Println("VIOLATED")
+		for _, v := range vs {
+			fmt.Printf("  %s\n", v.Detail)
+		}
+	}
+
+	// The intended order (ISP1 preferred via local-pref 200): holds.
+	check([]string{"ISP1", "ISP2"})
+	// The reversed order: violated whenever both neighbors advertise.
+	check([]string{"ISP2", "ISP1"})
+}

@@ -1,0 +1,59 @@
+// Quickstart: verify the paper's Figure 4 example network.
+//
+// The network has two peering routers (PR1, PR2) in AS 300 facing two ISPs.
+// Best practice tags external routes with community 300:100 on import and
+// denies tagged routes on export — but PR1's iBGP session to PR2 is missing
+// "advertise-community", so the tag is stripped in flight and PR2 leaks
+// ISP1's routes to ISP2.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func main() {
+	net, err := expresso.Load(testnet.Figure4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report, err := net.Verify(expresso.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("analyzed %d routers with %d external neighbors in %v\n",
+		report.Stats.Nodes, report.Stats.Peers, report.Timing.Total().Round(1e6))
+	fmt.Printf("EPVP converged after %d iterations; %d symbolic routes, %d PECs\n\n",
+		report.Iterations, report.RIBRoutes, report.PECs)
+
+	if len(report.Violations) == 0 {
+		fmt.Println("no violations — unexpected for this misconfigured network!")
+		return
+	}
+	fmt.Println("violations found:")
+	for _, v := range report.Violations {
+		fmt.Printf("  %s\n", v)
+		fmt.Printf("    witness prefix: %s, triggered by: %v\n", v.Prefix, v.Originators)
+	}
+
+	// Verify the repaired configuration: the leak disappears.
+	fixed, err := expresso.Load(testnet.Figure4Fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedReport, err := fixed.Verify(expresso.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter adding advertise-community to PR1's session: %d violations\n",
+		len(fixedReport.Violations))
+}

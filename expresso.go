@@ -1,0 +1,237 @@
+// Package expresso is the public API of this reproduction of "Expresso:
+// Comprehensively Reasoning About External Routes Using Symbolic
+// Simulation" (SIGCOMM 2024).
+//
+// Expresso verifies routing and forwarding properties of a BGP network
+// under **arbitrary external routes**: every external neighbor may
+// advertise any set of prefixes with any attributes. The analysis runs in
+// three stages (§3.2 of the paper):
+//
+//  1. SRC — symbolic route computation (the EPVP fixed point),
+//  2. SPF — symbolic packet forwarding (symbolic FIBs and PECs),
+//  3. property analysis over the symbolic RIBs and PECs.
+//
+// Basic use:
+//
+//	net, err := expresso.Load(configText)
+//	report, err := net.Verify(expresso.Options{})
+//	for _, v := range report.Violations { fmt.Println(v) }
+package expresso
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/properties"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/spf"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+// Violation re-exports the property-analysis violation type.
+type Violation = properties.Violation
+
+// Kind re-exports the property kind.
+type Kind = properties.Kind
+
+// Re-exported property kinds.
+const (
+	RouteLeakFree     = properties.RouteLeakFree
+	RouteHijackFree   = properties.RouteHijackFree
+	TrafficHijackFree = properties.TrafficHijackFree
+	BlackHoleFree     = properties.BlackHoleFree
+	LoopFree          = properties.LoopFree
+	BlockToExternal   = properties.BlockToExternal
+	EgressPreference  = properties.EgressPreference
+)
+
+// Mode re-exports the EPVP feature selection (Figure 6c's levels).
+type Mode = epvp.Mode
+
+// FullMode enables traffic policies, symbolic communities, and symbolic AS
+// paths — the paper's default Expresso configuration.
+func FullMode() Mode { return epvp.FullMode() }
+
+// ExpressoMinusMode is Expresso- (§7.2): concrete AS paths.
+func ExpressoMinusMode() Mode {
+	m := epvp.FullMode()
+	m.SymbolicASPaths = false
+	return m
+}
+
+// Options configures a verification run.
+type Options struct {
+	// Mode selects modeled protocol features; the zero value is upgraded
+	// to FullMode.
+	Mode Mode
+	// Properties selects which properties to check; empty means
+	// RouteLeakFree, RouteHijackFree, and TrafficHijackFree (the §7.1
+	// set).
+	Properties []Kind
+	// BTE is the community for BlockToExternal (required when that
+	// property is selected).
+	BTE route.Community
+}
+
+func (o *Options) normalize() {
+	zero := Mode{}
+	if o.Mode == zero {
+		o.Mode = FullMode()
+	}
+	if len(o.Properties) == 0 {
+		o.Properties = []Kind{RouteLeakFree, RouteHijackFree, TrafficHijackFree}
+	}
+}
+
+func (o *Options) wants(k Kind) bool {
+	for _, p := range o.Properties {
+		if p == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Timing records per-stage wall-clock durations (Table 3's columns).
+type Timing struct {
+	SRC                time.Duration
+	RoutingAnalysis    time.Duration
+	SPF                time.Duration
+	ForwardingAnalysis time.Duration
+}
+
+// Total sums the stages.
+func (t Timing) Total() time.Duration {
+	return t.SRC + t.RoutingAnalysis + t.SPF + t.ForwardingAnalysis
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	// Stats summarizes the analyzed network (Table 1's columns).
+	Stats topology.Stats
+	// Violations lists every property violation found.
+	Violations []Violation
+	// Timing holds per-stage durations.
+	Timing Timing
+	// HeapBytes is the live heap after the run (Figure 8's metric).
+	HeapBytes uint64
+	// Converged reports whether EPVP reached its fixed point.
+	Converged bool
+	// Iterations counts EPVP rounds.
+	Iterations int
+	// RIBRoutes is the total number of symbolic routes across internal
+	// RIBs.
+	RIBRoutes int
+	// PECs is the number of packet equivalence classes computed (0 when no
+	// forwarding property was requested).
+	PECs int
+}
+
+// CountByKind tallies violations per property.
+func (r *Report) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, v := range r.Violations {
+		out[v.Kind]++
+	}
+	return out
+}
+
+// Network is a loaded, analyzable network.
+type Network struct {
+	Topo *topology.Network
+}
+
+// Load parses a multi-router configuration text and builds the network.
+func Load(configText string) (*Network, error) {
+	devices, err := config.ParseConfigs(configText)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topology.Build(devices)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Topo: topo}, nil
+}
+
+// LoadDir parses every *.cfg file in a directory.
+func LoadDir(dir string) (*Network, error) {
+	devices, err := config.ParseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topology.Build(devices)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Topo: topo}, nil
+}
+
+// Verify runs the requested property checks and returns the report.
+func (n *Network) Verify(opts Options) (*Report, error) {
+	opts.normalize()
+	rep := &Report{Stats: n.Topo.Statistics()}
+
+	// Stage 1: symbolic route computation.
+	start := time.Now()
+	eng := epvp.New(n.Topo, opts.Mode)
+	cp := eng.Run()
+	rep.Timing.SRC = time.Since(start)
+	rep.Converged = cp.Converged
+	rep.Iterations = cp.Iterations
+	for _, rs := range cp.Best {
+		rep.RIBRoutes += len(rs)
+	}
+	// The fixed point is done: drop the ITE memo (often gigabytes on the
+	// large snapshots) before the analysis stages; they rebuild what they
+	// need.
+	eng.Space.M.ClearCaches()
+	runtime.GC()
+
+	// Stage 1b: routing-property analysis.
+	start = time.Now()
+	if opts.wants(RouteLeakFree) {
+		rep.Violations = append(rep.Violations, properties.CheckRouteLeak(eng, cp)...)
+	}
+	if opts.wants(RouteHijackFree) {
+		rep.Violations = append(rep.Violations, properties.CheckRouteHijack(eng, cp)...)
+	}
+	if opts.wants(BlockToExternal) {
+		if opts.BTE == 0 {
+			return nil, fmt.Errorf("expresso: BlockToExternal requires Options.BTE")
+		}
+		rep.Violations = append(rep.Violations, properties.CheckBlockToExternal(eng, cp, opts.BTE)...)
+	}
+	rep.Timing.RoutingAnalysis = time.Since(start)
+
+	// Stage 2: symbolic packet forwarding (only if a forwarding property
+	// was requested).
+	needSPF := opts.wants(TrafficHijackFree) || opts.wants(BlackHoleFree) || opts.wants(LoopFree)
+	if needSPF {
+		start = time.Now()
+		dp := spf.Run(eng, cp)
+		rep.Timing.SPF = time.Since(start)
+		rep.PECs = len(dp.PECs)
+
+		start = time.Now()
+		if opts.wants(TrafficHijackFree) {
+			rep.Violations = append(rep.Violations, properties.CheckTrafficHijack(eng, dp)...)
+		}
+		if opts.wants(BlackHoleFree) {
+			rep.Violations = append(rep.Violations,
+				properties.CheckBlackHole(eng, dp, properties.InternalDestPredicate(eng, dp))...)
+		}
+		if opts.wants(LoopFree) {
+			rep.Violations = append(rep.Violations, properties.CheckLoop(eng, dp)...)
+		}
+		rep.Timing.ForwardingAnalysis = time.Since(start)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.HeapBytes = ms.HeapAlloc
+	return rep, nil
+}

@@ -1,0 +1,143 @@
+package expresso
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/netgen"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func TestVerifyFigure4(t *testing.T) {
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Error("EPVP should converge")
+	}
+	counts := rep.CountByKind()
+	if counts[RouteLeakFree] != 1 {
+		t.Errorf("route leaks = %d, want 1", counts[RouteLeakFree])
+	}
+	if rep.Timing.SRC <= 0 || rep.Timing.SPF <= 0 {
+		t.Error("stage timings should be positive")
+	}
+	if rep.PECs == 0 || rep.RIBRoutes == 0 {
+		t.Error("report should include RIB and PEC sizes")
+	}
+	if rep.Stats.Nodes != 2 || rep.Stats.Peers != 2 {
+		t.Errorf("stats = %+v", rep.Stats)
+	}
+}
+
+func TestVerifyFixedClean(t *testing.T) {
+	net, err := Load(testnet.Figure4Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("fixed config should be clean, got %v", rep.Violations)
+	}
+}
+
+func TestVerifyRoutingOnlySkipsSPF(t *testing.T) {
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{Properties: []Kind{RouteLeakFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PECs != 0 || rep.Timing.SPF != 0 {
+		t.Error("routing-only verification must skip SPF")
+	}
+}
+
+func TestVerifyBTERequiresCommunity(t *testing.T) {
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Verify(Options{Properties: []Kind{BlockToExternal}}); err == nil {
+		t.Error("BlockToExternal without BTE community should error")
+	}
+	if _, err := net.Verify(Options{
+		Properties: []Kind{BlockToExternal},
+		BTE:        route.MustParseCommunity("1:1"),
+	}); err != nil {
+		t.Errorf("BTE check failed: %v", err)
+	}
+}
+
+func TestVerifyExpressoMinus(t *testing.T) {
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{Mode: ExpressoMinusMode()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CountByKind()[RouteLeakFree] != 1 {
+		t.Error("Expresso- should still find the leak")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("garbage"); err == nil {
+		t.Error("bad config should fail")
+	}
+	if _, err := LoadDir("/nonexistent-dir"); err == nil {
+		t.Error("missing dir should fail")
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "net.cfg"), []byte(testnet.Figure4), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Topo.Internals) != 2 {
+		t.Error("LoadDir parsed wrong device count")
+	}
+}
+
+func TestVerifyRegion1(t *testing.T) {
+	// End-to-end on a generated dataset: region1 has one hijack bug.
+	net, err := Load(netgen.CSP(netgen.CSPOldRegion(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatal("region1 did not converge")
+	}
+	counts := rep.CountByKind()
+	if counts[RouteHijackFree] == 0 {
+		t.Error("region1's seeded hijack not found")
+	}
+	if counts[RouteLeakFree] != 0 {
+		t.Errorf("region1 has no leak bugs, found %d", counts[RouteLeakFree])
+	}
+	t.Logf("region1: %v (SRC %v, SPF %v, RIB %d, PECs %d)",
+		counts, rep.Timing.SRC, rep.Timing.SPF, rep.RIBRoutes, rep.PECs)
+}

@@ -1,0 +1,3 @@
+module github.com/expresso-verify/expresso
+
+go 1.22

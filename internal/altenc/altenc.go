@@ -1,0 +1,227 @@
+// Package altenc implements the alternative symbolic encodings that
+// Figure 7 of the paper compares:
+//
+//   - symbolic communities represented as automata (7a's "Automaton"
+//     series) versus atomic predicates (Expresso's default; internal/
+//     community implements both the BDD and the explicit-set forms), and
+//   - symbolic AS paths represented as explicit sets of concrete paths
+//     ("atomic predicate" style, 7b) versus automata (Expresso's default).
+//
+// The paper found that atomic predicates win for communities (element order
+// is irrelevant and matching applies per element) while automata win for AS
+// paths (order matters and regex matching applies to the whole path; the
+// atomic-predicate encoding timed out). These encodings reproduce both
+// effects: a community list modeled as a language must canonicalize member
+// order (expensive), and an explicit path-set blows up at the first
+// wildcard concatenation.
+package altenc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/expresso-verify/expresso/internal/automaton"
+)
+
+// CommAutomaton is a symbolic community list encoded as a regular language:
+// each concrete list is the sorted word of its atom indices, and the
+// symbolic list is the union of member words. Operations must keep member
+// words sorted, which forces enumerate-transform-rebuild cycles — the
+// inefficiency Figure 7a measures.
+type CommAutomaton struct {
+	a     *automaton.Automaton
+	atoms int
+}
+
+// AllCommAutomaton is the 2^CA symbolic list over the given atom count.
+func AllCommAutomaton(atoms int) CommAutomaton {
+	words := enumerateSortedSubsets(atoms)
+	return CommAutomaton{a: unionOfWords(words), atoms: atoms}
+}
+
+// EmptyCommAutomaton is the {∅} symbolic list.
+func EmptyCommAutomaton(atoms int) CommAutomaton {
+	return CommAutomaton{a: automaton.EmptyWord(), atoms: atoms}
+}
+
+func enumerateSortedSubsets(atoms int) [][]automaton.Symbol {
+	var words [][]automaton.Symbol
+	for mask := 0; mask < 1<<atoms; mask++ {
+		var w []automaton.Symbol
+		for i := 0; i < atoms; i++ {
+			if mask&(1<<i) != 0 {
+				w = append(w, automaton.Symbol(i))
+			}
+		}
+		words = append(words, w)
+	}
+	return words
+}
+
+func unionOfWords(words [][]automaton.Symbol) *automaton.Automaton {
+	out := automaton.Empty()
+	for _, w := range words {
+		out = out.Union(automaton.FromWord(w))
+	}
+	return out
+}
+
+// members enumerates the concrete lists (as atom masks) of the language.
+func (c CommAutomaton) members() []uint64 {
+	var out []uint64
+	// Enumerate all subset words and test membership — the only way to
+	// transform an order-canonical language without a transducer.
+	for mask := uint64(0); mask < 1<<c.atoms; mask++ {
+		var w []automaton.Symbol
+		for i := 0; i < c.atoms; i++ {
+			if mask&(1<<i) != 0 {
+				w = append(w, automaton.Symbol(i))
+			}
+		}
+		if c.a.Matches(w) {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+// Add inserts atom into every member list (enumerate, transform, rebuild).
+func (c CommAutomaton) Add(atom int) CommAutomaton {
+	masks := c.members()
+	seen := map[uint64]bool{}
+	var words [][]automaton.Symbol
+	for _, m := range masks {
+		nm := m | 1<<atom
+		if seen[nm] {
+			continue
+		}
+		seen[nm] = true
+		var w []automaton.Symbol
+		for i := 0; i < c.atoms; i++ {
+			if nm&(1<<i) != 0 {
+				w = append(w, automaton.Symbol(i))
+			}
+		}
+		words = append(words, w)
+	}
+	return CommAutomaton{a: unionOfWords(words), atoms: c.atoms}
+}
+
+// MatchAny restricts to members containing at least one of the atoms, via
+// language intersection with ".*(a1|a2|...).*".
+func (c CommAutomaton) MatchAny(atomsList []int) CommAutomaton {
+	sort.Ints(atomsList)
+	alts := ""
+	for i, a := range atomsList {
+		if i > 0 {
+			alts += "|"
+		}
+		alts += fmt.Sprintf("%d", a)
+	}
+	pat := fmt.Sprintf(".*(%s).*", alts)
+	return CommAutomaton{a: c.a.Intersect(automaton.MustParseRegex(pat)), atoms: c.atoms}
+}
+
+// Size returns the number of member lists.
+func (c CommAutomaton) Size() int { return len(c.members()) }
+
+// PathSet is a symbolic AS path encoded "atomic predicate"-style as an
+// explicit set of concrete paths. A wildcard tail cannot be represented
+// finitely; Expand bounds it by maxLen over the alphabet, which is why this
+// encoding times out in the paper (7b).
+type PathSet struct {
+	// Paths maps the canonical string of each member path to its word.
+	Paths map[string][]uint32
+}
+
+// ErrPathSetOverflow reports that an operation exceeded the member budget —
+// the encoding's analogue of the paper's 1-hour timeout.
+type ErrPathSetOverflow struct{ Members int }
+
+func (e ErrPathSetOverflow) Error() string {
+	return fmt.Sprintf("altenc: path set exceeded %d members", e.Members)
+}
+
+// NewPathSet builds a set from explicit paths.
+func NewPathSet(paths ...[]uint32) PathSet {
+	s := PathSet{Paths: map[string][]uint32{}}
+	for _, p := range paths {
+		s.Paths[pathKey(p)] = append([]uint32(nil), p...)
+	}
+	return s
+}
+
+func pathKey(p []uint32) string {
+	return fmt.Sprint(p)
+}
+
+// ExpandWildcard materializes ".*" over an alphabet up to maxLen, erroring
+// out when the set exceeds budget members.
+func ExpandWildcard(alphabet []uint32, maxLen, budget int) (PathSet, error) {
+	s := PathSet{Paths: map[string][]uint32{}}
+	var rec func(prefix []uint32) error
+	rec = func(prefix []uint32) error {
+		if len(s.Paths) > budget {
+			return ErrPathSetOverflow{budget}
+		}
+		s.Paths[pathKey(prefix)] = append([]uint32(nil), prefix...)
+		if len(prefix) == maxLen {
+			return nil
+		}
+		for _, a := range alphabet {
+			if err := rec(append(prefix, a)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(nil); err != nil {
+		return PathSet{}, err
+	}
+	return s, nil
+}
+
+// Prepend adds an AS to the front of every member.
+func (s PathSet) Prepend(as uint32, budget int) (PathSet, error) {
+	out := PathSet{Paths: map[string][]uint32{}}
+	for _, p := range s.Paths {
+		np := append([]uint32{as}, p...)
+		out.Paths[pathKey(np)] = np
+		if len(out.Paths) > budget {
+			return PathSet{}, ErrPathSetOverflow{budget}
+		}
+	}
+	return out, nil
+}
+
+// MatchRegex keeps members accepted by the automaton.
+func (s PathSet) MatchRegex(a *automaton.Automaton, budget int) (PathSet, error) {
+	out := PathSet{Paths: map[string][]uint32{}}
+	for _, p := range s.Paths {
+		w := make([]automaton.Symbol, len(p))
+		for i, as := range p {
+			w[i] = automaton.Symbol(as)
+		}
+		if a.Matches(w) {
+			out.Paths[pathKey(p)] = p
+			if len(out.Paths) > budget {
+				return PathSet{}, ErrPathSetOverflow{budget}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Size returns the number of member paths.
+func (s PathSet) Size() int { return len(s.Paths) }
+
+// ShortestLength returns the length of the shortest member (-1 if empty).
+func (s PathSet) ShortestLength() int {
+	best := -1
+	for _, p := range s.Paths {
+		if best == -1 || len(p) < best {
+			best = len(p)
+		}
+	}
+	return best
+}

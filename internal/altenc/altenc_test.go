@@ -1,0 +1,95 @@
+package altenc
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/automaton"
+)
+
+func TestCommAutomatonMirrorsSetSemantics(t *testing.T) {
+	const atoms = 4
+	all := AllCommAutomaton(atoms)
+	if all.Size() != 1<<atoms {
+		t.Fatalf("All size = %d, want %d", all.Size(), 1<<atoms)
+	}
+	added := all.Add(1)
+	if added.Size() != 1<<(atoms-1) {
+		t.Fatalf("after Add size = %d, want %d", added.Size(), 1<<(atoms-1))
+	}
+	for _, m := range added.members() {
+		if m&(1<<1) == 0 {
+			t.Fatal("member missing added atom")
+		}
+	}
+	matched := all.MatchAny([]int{0, 2})
+	for _, m := range matched.members() {
+		if m&0b101 == 0 {
+			t.Fatal("MatchAny kept a non-matching member")
+		}
+	}
+	if matched.Size() != 12 {
+		t.Fatalf("MatchAny size = %d, want 12", matched.Size())
+	}
+	empty := EmptyCommAutomaton(atoms)
+	if empty.Size() != 1 {
+		t.Fatal("EmptyCommAutomaton should have one member")
+	}
+	if got := empty.Add(3).members(); len(got) != 1 || got[0] != 1<<3 {
+		t.Fatalf("Add on empty = %v", got)
+	}
+}
+
+func TestPathSetBasics(t *testing.T) {
+	s := NewPathSet([]uint32{100}, []uint32{100, 200})
+	if s.Size() != 2 || s.ShortestLength() != 1 {
+		t.Fatalf("size=%d shortest=%d", s.Size(), s.ShortestLength())
+	}
+	p, err := s.Prepend(300, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 || p.ShortestLength() != 2 {
+		t.Fatal("prepend wrong")
+	}
+	m, err := p.MatchRegex(automaton.MustParseRegex("300 100"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 1 {
+		t.Fatalf("match size = %d, want 1", m.Size())
+	}
+	if NewPathSet().ShortestLength() != -1 {
+		t.Fatal("empty set shortest should be -1")
+	}
+}
+
+func TestExpandWildcardOverflows(t *testing.T) {
+	// A 20-symbol alphabet to length 4 exceeds any reasonable budget —
+	// the Figure 7b "timeout" behavior.
+	alphabet := make([]uint32, 20)
+	for i := range alphabet {
+		alphabet[i] = uint32(100 + i)
+	}
+	_, err := ExpandWildcard(alphabet, 4, 10000)
+	if _, ok := err.(ErrPathSetOverflow); !ok {
+		t.Fatalf("expected overflow, got %v", err)
+	}
+	// A tiny instance fits.
+	s, err := ExpandWildcard([]uint32{1, 2}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 7 { // ε, 1, 2, 11, 12, 21, 22
+		t.Fatalf("size = %d, want 7", s.Size())
+	}
+}
+
+func TestPrependOverflow(t *testing.T) {
+	s, err := ExpandWildcard([]uint32{1, 2, 3}, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prepend(9, 3); err == nil {
+		t.Fatal("tiny budget should overflow")
+	}
+}

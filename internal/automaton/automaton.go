@@ -1,0 +1,567 @@
+// Package automaton implements finite automata over an alphabet of AS
+// numbers, used by Expresso to represent symbolic AS paths (§4.2 of the
+// paper). A symbolic AS path is a regular language whose words are sequences
+// of AS numbers.
+//
+// Automata are kept as complete, minimal DFAs, so semantic equality is
+// structural isomorphism and language emptiness, shortest-word length, and
+// boolean combinations are all cheap. The alphabet is implicit: each
+// automaton mentions a finite set of AS numbers; every unmentioned AS number
+// behaves identically ("other"), which each state captures with a default
+// transition.
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is an AS number.
+type Symbol uint32
+
+// state is a DFA state: explicit transitions for mentioned symbols plus a
+// default transition for every other symbol. accept marks final states.
+type state struct {
+	trans  map[Symbol]int
+	other  int
+	accept bool
+}
+
+// Automaton is a complete, minimal DFA over AS-number sequences. The zero
+// value is not usable; construct via the package functions. Automata are
+// immutable after construction.
+type Automaton struct {
+	states []state
+	start  int
+	sig    string // canonical signature, computed lazily
+}
+
+// Empty returns the automaton accepting nothing.
+func Empty() *Automaton {
+	a := &Automaton{states: []state{{other: 0}}, start: 0}
+	a.states[0].trans = map[Symbol]int{}
+	return a.minimize()
+}
+
+// EmptyWord returns the automaton accepting only the empty AS path.
+func EmptyWord() *Automaton {
+	return FromWord(nil)
+}
+
+// AnyString returns the automaton accepting every AS path (".*").
+func AnyString() *Automaton {
+	a := &Automaton{states: []state{{trans: map[Symbol]int{}, other: 0, accept: true}}, start: 0}
+	return a.minimize()
+}
+
+// FromWord returns the automaton accepting exactly the given sequence.
+func FromWord(word []Symbol) *Automaton {
+	n := len(word)
+	states := make([]state, n+2) // word states + dead state at n+1
+	dead := n + 1
+	for i := range states {
+		states[i].trans = map[Symbol]int{}
+		states[i].other = dead
+	}
+	for i, s := range word {
+		states[i].trans[s] = i + 1
+	}
+	states[n].accept = true
+	a := &Automaton{states: states, start: 0}
+	return a.minimize()
+}
+
+// alphabet returns the sorted set of symbols explicitly mentioned by a.
+func (a *Automaton) alphabet() []Symbol {
+	set := map[Symbol]bool{}
+	for _, st := range a.states {
+		for s := range st.trans {
+			set[s] = true
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (a *Automaton) step(st int, s Symbol) int {
+	if t, ok := a.states[st].trans[s]; ok {
+		return t
+	}
+	return a.states[st].other
+}
+
+// Matches reports whether a accepts the given word.
+func (a *Automaton) Matches(word []Symbol) bool {
+	st := a.start
+	for _, s := range word {
+		st = a.step(st, s)
+	}
+	return a.states[st].accept
+}
+
+// IsEmpty reports whether a accepts no word.
+func (a *Automaton) IsEmpty() bool {
+	// Minimal DFA: empty language iff single non-accepting state.
+	for _, st := range a.states {
+		if st.accept {
+			return false
+		}
+	}
+	return true
+}
+
+// NumStates returns the number of states of the minimal DFA.
+func (a *Automaton) NumStates() int { return len(a.states) }
+
+// ShortestLength returns the length of the shortest accepted word, or -1 if
+// the language is empty. This is how Expresso compares symbolic AS path
+// lengths during best-route selection (§4.3).
+func (a *Automaton) ShortestLength() int {
+	type qe struct{ st, d int }
+	seen := make([]bool, len(a.states))
+	queue := []qe{{a.start, 0}}
+	seen[a.start] = true
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if a.states[e.st].accept {
+			return e.d
+		}
+		next := map[int]bool{a.states[e.st].other: true}
+		for _, t := range a.states[e.st].trans {
+			next[t] = true
+		}
+		for t := range next {
+			if !seen[t] {
+				seen[t] = true
+				queue = append(queue, qe{t, e.d + 1})
+			}
+		}
+	}
+	return -1
+}
+
+// ShortestWord returns a shortest accepted word (nil if the language is
+// empty but the empty word is accepted; the second result distinguishes an
+// empty language).
+func (a *Automaton) ShortestWord() ([]Symbol, bool) {
+	type qe struct {
+		st   int
+		path []Symbol
+	}
+	seen := make([]bool, len(a.states))
+	queue := []qe{{a.start, nil}}
+	seen[a.start] = true
+	// A symbol not in the alphabet, representing an "other" step.
+	var otherSym Symbol
+	alpha := a.alphabet()
+	otherSym = 0
+	for {
+		clash := false
+		for _, s := range alpha {
+			if s == otherSym {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			break
+		}
+		otherSym++
+	}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if a.states[e.st].accept {
+			return e.path, true
+		}
+		// Explicit symbols first for readable witnesses.
+		syms := make([]Symbol, 0, len(a.states[e.st].trans))
+		for s := range a.states[e.st].trans {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		for _, s := range syms {
+			t := a.states[e.st].trans[s]
+			if !seen[t] {
+				seen[t] = true
+				queue = append(queue, qe{t, append(append([]Symbol{}, e.path...), s)})
+			}
+		}
+		if t := a.states[e.st].other; !seen[t] {
+			seen[t] = true
+			queue = append(queue, qe{t, append(append([]Symbol{}, e.path...), otherSym)})
+		}
+	}
+	return nil, false
+}
+
+// Complement returns the automaton accepting exactly the words a rejects.
+func (a *Automaton) Complement() *Automaton {
+	out := a.clone()
+	for i := range out.states {
+		out.states[i].accept = !out.states[i].accept
+	}
+	return out.minimize()
+}
+
+func (a *Automaton) clone() *Automaton {
+	states := make([]state, len(a.states))
+	for i, st := range a.states {
+		ns := state{trans: make(map[Symbol]int, len(st.trans)), other: st.other, accept: st.accept}
+		for s, t := range st.trans {
+			ns.trans[s] = t
+		}
+		states[i] = ns
+	}
+	return &Automaton{states: states, start: a.start}
+}
+
+// product builds the product DFA of a and b with the given accept combiner.
+func product(a, b *Automaton, accept func(x, y bool) bool) *Automaton {
+	alpha := map[Symbol]bool{}
+	for _, s := range a.alphabet() {
+		alpha[s] = true
+	}
+	for _, s := range b.alphabet() {
+		alpha[s] = true
+	}
+	syms := make([]Symbol, 0, len(alpha))
+	for s := range alpha {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	type pair struct{ x, y int }
+	index := map[pair]int{}
+	var states []state
+	var order []pair
+	add := func(p pair) int {
+		if i, ok := index[p]; ok {
+			return i
+		}
+		i := len(order)
+		index[p] = i
+		order = append(order, p)
+		states = append(states, state{trans: map[Symbol]int{}})
+		return i
+	}
+	start := add(pair{a.start, b.start})
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		states[i].accept = accept(a.states[p.x].accept, b.states[p.y].accept)
+		for _, s := range syms {
+			t := add(pair{a.step(p.x, s), b.step(p.y, s)})
+			states[i].trans[s] = t
+		}
+		states[i].other = add(pair{a.states[p.x].other, b.states[p.y].other})
+	}
+	out := &Automaton{states: states, start: start}
+	return out.minimize()
+}
+
+// Intersect returns the automaton accepting words accepted by both a and b.
+func (a *Automaton) Intersect(b *Automaton) *Automaton {
+	return product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Union returns the automaton accepting words accepted by a or b.
+func (a *Automaton) Union(b *Automaton) *Automaton {
+	return product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Minus returns the automaton accepting words accepted by a but not b.
+func (a *Automaton) Minus(b *Automaton) *Automaton {
+	return product(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// Concat returns the automaton accepting xy for every x accepted by a and y
+// accepted by b. Used for AS-path prepending: prepending AS s to path
+// language L is FromWord([s]).Concat(L).
+func (a *Automaton) Concat(b *Automaton) *Automaton {
+	// Subset construction over pairs of state sets: after reading a prefix,
+	// the run is in a set of a-states, plus a set of b-states for every
+	// point where an accepting a-state allowed b to start.
+	alpha := map[Symbol]bool{}
+	for _, s := range a.alphabet() {
+		alpha[s] = true
+	}
+	for _, s := range b.alphabet() {
+		alpha[s] = true
+	}
+	syms := make([]Symbol, 0, len(alpha))
+	for s := range alpha {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	type cfg struct {
+		aState int
+		bSet   string // canonical encoding of the set of b states
+	}
+	encode := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for i := range set {
+			ids = append(ids, i)
+		}
+		sort.Ints(ids)
+		var sb strings.Builder
+		for _, i := range ids {
+			fmt.Fprintf(&sb, "%d,", i)
+		}
+		return sb.String()
+	}
+	decode := func(s string) map[int]bool {
+		set := map[int]bool{}
+		for _, f := range strings.Split(s, ",") {
+			if f == "" {
+				continue
+			}
+			var i int
+			fmt.Sscanf(f, "%d", &i)
+			set[i] = true
+		}
+		return set
+	}
+	initB := func(aState int, set map[int]bool) {
+		if a.states[aState].accept {
+			set[b.start] = true
+		}
+	}
+
+	index := map[cfg]int{}
+	var states []state
+	var order []cfg
+	add := func(c cfg) int {
+		if i, ok := index[c]; ok {
+			return i
+		}
+		i := len(order)
+		index[c] = i
+		order = append(order, c)
+		states = append(states, state{trans: map[Symbol]int{}})
+		return i
+	}
+	startSet := map[int]bool{}
+	initB(a.start, startSet)
+	start := add(cfg{a.start, encode(startSet)})
+
+	stepCfg := func(c cfg, s Symbol, useOther bool) cfg {
+		var na int
+		if useOther {
+			na = a.states[c.aState].other
+		} else {
+			na = a.step(c.aState, s)
+		}
+		nb := map[int]bool{}
+		for bs := range decode(c.bSet) {
+			if useOther {
+				nb[b.states[bs].other] = true
+			} else {
+				nb[b.step(bs, s)] = true
+			}
+		}
+		initB(na, nb)
+		return cfg{na, encode(nb)}
+	}
+
+	for i := 0; i < len(order); i++ {
+		c := order[i]
+		acc := false
+		for bs := range decode(c.bSet) {
+			if b.states[bs].accept {
+				acc = true
+				break
+			}
+		}
+		states[i].accept = acc
+		for _, s := range syms {
+			states[i].trans[s] = add(stepCfg(c, s, false))
+		}
+		states[i].other = add(stepCfg(c, 0, true))
+	}
+	out := &Automaton{states: states, start: start}
+	return out.minimize()
+}
+
+// Equals reports language equality. Because automata are canonical minimal
+// DFAs with normalized state numbering, this compares signatures.
+func (a *Automaton) Equals(b *Automaton) bool {
+	return a.Signature() == b.Signature()
+}
+
+// Signature returns a canonical string identifying the language. Two
+// automata have equal signatures iff they accept the same language.
+func (a *Automaton) Signature() string {
+	if a.sig == "" {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "s%d;", a.start)
+		for i, st := range a.states {
+			fmt.Fprintf(&sb, "%d", i)
+			if st.accept {
+				sb.WriteByte('A')
+			}
+			syms := make([]Symbol, 0, len(st.trans))
+			for s := range st.trans {
+				syms = append(syms, s)
+			}
+			sort.Slice(syms, func(x, y int) bool { return syms[x] < syms[y] })
+			for _, s := range syms {
+				fmt.Fprintf(&sb, " %d>%d", s, st.trans[s])
+			}
+			fmt.Fprintf(&sb, " *>%d;", st.other)
+		}
+		a.sig = sb.String()
+	}
+	return a.sig
+}
+
+// minimize returns the canonical minimal DFA for a's language: unreachable
+// states removed, Moore partition refinement, states renumbered in BFS
+// order, and redundant explicit transitions (equal to the default) dropped.
+func (a *Automaton) minimize() *Automaton {
+	alpha := a.alphabet()
+
+	// 1. Reachability.
+	reach := make([]bool, len(a.states))
+	stack := []int{a.start}
+	reach[a.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		succ := map[int]bool{a.states[s].other: true}
+		for _, t := range a.states[s].trans {
+			succ[t] = true
+		}
+		for t := range succ {
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	// 2. Moore refinement over reachable states.
+	part := make([]int, len(a.states)) // state -> block id
+	for i := range part {
+		if a.states[i].accept {
+			part[i] = 1
+		}
+	}
+	for {
+		// Signature of each state: (block, block of each transition).
+		sigs := map[string]int{}
+		next := make([]int, len(a.states))
+		changed := false
+		for i := range a.states {
+			if !reach[i] {
+				continue
+			}
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%d|", part[i])
+			for _, s := range alpha {
+				fmt.Fprintf(&sb, "%d,", part[a.step(i, s)])
+			}
+			fmt.Fprintf(&sb, "|%d", part[a.states[i].other])
+			key := sb.String()
+			id, ok := sigs[key]
+			if !ok {
+				id = len(sigs)
+				sigs[key] = id
+			}
+			next[i] = id
+		}
+		for i := range a.states {
+			if reach[i] && next[i] != part[i] {
+				changed = true
+			}
+		}
+		part = next
+		if !changed {
+			break
+		}
+	}
+
+	// 3. Rebuild with BFS numbering from the start block.
+	blockRep := map[int]int{} // block -> representative original state
+	for i := range a.states {
+		if reach[i] {
+			if _, ok := blockRep[part[i]]; !ok {
+				blockRep[part[i]] = i
+			}
+		}
+	}
+	newID := map[int]int{} // block -> new state id
+	var orderBlocks []int
+	var visit func(block int)
+	queue := []int{part[a.start]}
+	newID[part[a.start]] = 0
+	orderBlocks = append(orderBlocks, part[a.start])
+	_ = visit
+	for qi := 0; qi < len(queue); qi++ {
+		blk := queue[qi]
+		rep := blockRep[blk]
+		succBlocks := []int{}
+		for _, s := range alpha {
+			succBlocks = append(succBlocks, part[a.step(rep, s)])
+		}
+		succBlocks = append(succBlocks, part[a.states[rep].other])
+		for _, nb := range succBlocks {
+			if _, ok := newID[nb]; !ok {
+				newID[nb] = len(orderBlocks)
+				orderBlocks = append(orderBlocks, nb)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	states := make([]state, len(orderBlocks))
+	for i, blk := range orderBlocks {
+		rep := blockRep[blk]
+		ns := state{trans: map[Symbol]int{}, accept: a.states[rep].accept}
+		ns.other = newID[part[a.states[rep].other]]
+		for _, s := range alpha {
+			t := newID[part[a.step(rep, s)]]
+			if t != ns.other {
+				ns.trans[s] = t
+			}
+		}
+		states[i] = ns
+	}
+	out := &Automaton{states: states, start: 0}
+	// Dropping explicit transitions that equal the default may shrink the
+	// mentioned alphabet; the canonical BFS numbering depends on it, so
+	// re-minimize until the alphabet is stable. This terminates because the
+	// alphabet strictly shrinks.
+	if len(out.alphabet()) < len(alpha) {
+		return out.minimize()
+	}
+	return out
+}
+
+// String renders the automaton for debugging.
+func (a *Automaton) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DFA(start=%d", a.start)
+	for i, st := range a.states {
+		fmt.Fprintf(&sb, "; %d", i)
+		if st.accept {
+			sb.WriteString("*")
+		}
+		syms := make([]Symbol, 0, len(st.trans))
+		for s := range st.trans {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(x, y int) bool { return syms[x] < syms[y] })
+		for _, s := range syms {
+			fmt.Fprintf(&sb, " %d->%d", s, st.trans[s])
+		}
+		fmt.Fprintf(&sb, " other->%d", st.other)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

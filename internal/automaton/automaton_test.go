@@ -1,0 +1,326 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func w(syms ...Symbol) []Symbol { return syms }
+
+func TestEmptyAndAnyString(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Error("Empty() should accept nothing")
+	}
+	if e.Matches(nil) || e.Matches(w(100)) {
+		t.Error("Empty() matched a word")
+	}
+	any := AnyString()
+	if any.IsEmpty() {
+		t.Error("AnyString() should not be empty")
+	}
+	for _, word := range [][]Symbol{nil, w(1), w(100, 200, 300)} {
+		if !any.Matches(word) {
+			t.Errorf("AnyString() should match %v", word)
+		}
+	}
+	if got := any.ShortestLength(); got != 0 {
+		t.Errorf("AnyString shortest length = %d, want 0", got)
+	}
+	if got := e.ShortestLength(); got != -1 {
+		t.Errorf("Empty shortest length = %d, want -1", got)
+	}
+}
+
+func TestFromWord(t *testing.T) {
+	a := FromWord(w(100, 200))
+	if !a.Matches(w(100, 200)) {
+		t.Error("FromWord should match its word")
+	}
+	for _, bad := range [][]Symbol{nil, w(100), w(200, 100), w(100, 200, 300), w(100, 201)} {
+		if a.Matches(bad) {
+			t.Errorf("FromWord(100 200) wrongly matched %v", bad)
+		}
+	}
+	if got := a.ShortestLength(); got != 2 {
+		t.Errorf("shortest length = %d, want 2", got)
+	}
+	ew := EmptyWord()
+	if !ew.Matches(nil) || ew.Matches(w(5)) {
+		t.Error("EmptyWord misbehaves")
+	}
+}
+
+func TestParseRegexBasics(t *testing.T) {
+	cases := []struct {
+		expr  string
+		yes   [][]Symbol
+		no    [][]Symbol
+		short int
+	}{
+		{".*", [][]Symbol{nil, w(1), w(100, 200)}, nil, 0},
+		{"100.*", [][]Symbol{w(100), w(100, 5), w(100, 100)}, [][]Symbol{nil, w(5), w(5, 100)}, 1},
+		{".*400", [][]Symbol{w(400), w(1, 400), w(400, 400)}, [][]Symbol{nil, w(400, 1)}, 1},
+		{"200,200.*", [][]Symbol{w(200, 200), w(200, 200, 7)}, [][]Symbol{w(200), w(200, 7)}, 2},
+		{"100|200", [][]Symbol{w(100), w(200)}, [][]Symbol{nil, w(100, 200), w(300)}, 1},
+		{"(100|200) 300", [][]Symbol{w(100, 300), w(200, 300)}, [][]Symbol{w(300), w(100, 200)}, 2},
+		{"100+", [][]Symbol{w(100), w(100, 100)}, [][]Symbol{nil, w(100, 200)}, 1},
+		{"100?200", [][]Symbol{w(200), w(100, 200)}, [][]Symbol{w(100), w(100, 100, 200)}, 1},
+		{"[100-102]", [][]Symbol{w(100), w(101), w(102)}, [][]Symbol{w(99), w(103), nil}, 1},
+		{".", [][]Symbol{w(1), w(4000000000)}, [][]Symbol{nil, w(1, 2)}, 1},
+		{"", [][]Symbol{nil}, [][]Symbol{w(1)}, 0},
+	}
+	for _, c := range cases {
+		a, err := ParseRegex(c.expr)
+		if err != nil {
+			t.Errorf("ParseRegex(%q): %v", c.expr, err)
+			continue
+		}
+		for _, word := range c.yes {
+			if !a.Matches(word) {
+				t.Errorf("%q should match %v", c.expr, word)
+			}
+		}
+		for _, word := range c.no {
+			if a.Matches(word) {
+				t.Errorf("%q should not match %v", c.expr, word)
+			}
+		}
+		if got := a.ShortestLength(); got != c.short {
+			t.Errorf("%q shortest length = %d, want %d", c.expr, got, c.short)
+		}
+	}
+}
+
+func TestParseRegexErrors(t *testing.T) {
+	for _, expr := range []string{"(100", "[100-", "[100-50]", "100)", "abc", "[100:200]"} {
+		if _, err := ParseRegex(expr); err == nil {
+			t.Errorf("ParseRegex(%q) should fail", expr)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	startsWith100 := MustParseRegex("100.*")
+	endsWith400 := MustParseRegex(".*400")
+	both := startsWith100.Intersect(endsWith400)
+	if !both.Matches(w(100, 400)) || !both.Matches(w(100, 7, 400)) {
+		t.Error("intersection should match 100...400")
+	}
+	if both.Matches(w(100)) || both.Matches(w(400)) || both.Matches(w(100, 400, 5)) {
+		t.Error("intersection matched a bad word")
+	}
+	if got := both.ShortestLength(); got != 2 {
+		t.Errorf("shortest = %d, want 2", got)
+	}
+	// Note 100 400 needs two symbols; the single word "100" where 100==400
+	// does not apply here.
+	disjoint := MustParseRegex("100").Intersect(MustParseRegex("200"))
+	if !disjoint.IsEmpty() {
+		t.Error("100 ∩ 200 should be empty")
+	}
+}
+
+func TestUnionComplementMinus(t *testing.T) {
+	a := MustParseRegex("100")
+	b := MustParseRegex("200")
+	u := a.Union(b)
+	if !u.Matches(w(100)) || !u.Matches(w(200)) || u.Matches(w(300)) {
+		t.Error("union misbehaves")
+	}
+	c := a.Complement()
+	if c.Matches(w(100)) || !c.Matches(w(200)) || !c.Matches(nil) {
+		t.Error("complement misbehaves")
+	}
+	m := u.Minus(a)
+	if !m.Equals(b) {
+		t.Error("(100|200) - 100 should equal 200")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	// AS-path prepend: prepend 300 to language "100.*".
+	pre := FromWord(w(300)).Concat(MustParseRegex("100.*"))
+	if !pre.Matches(w(300, 100)) || !pre.Matches(w(300, 100, 5)) {
+		t.Error("prepend concat should match 300 100 ...")
+	}
+	if pre.Matches(w(100)) || pre.Matches(w(300)) || pre.Matches(w(300, 200)) {
+		t.Error("prepend concat matched a bad word")
+	}
+	if got := pre.ShortestLength(); got != 2 {
+		t.Errorf("shortest = %d, want 2", got)
+	}
+	// Concat with any-string on the right.
+	anyAfter := FromWord(w(65000)).Concat(AnyString())
+	if !anyAfter.Matches(w(65000)) || !anyAfter.Matches(w(65000, 1, 2)) {
+		t.Error("65000 .* misbehaves")
+	}
+	// Concat equivalence with regex-level concatenation.
+	viaRegex := MustParseRegex("300 100.*")
+	if !pre.Equals(viaRegex) {
+		t.Error("Concat and regex concatenation disagree")
+	}
+}
+
+func TestEqualsAndSignature(t *testing.T) {
+	a1 := MustParseRegex("(100|200).*")
+	a2 := MustParseRegex("100.*|200.*")
+	if !a1.Equals(a2) {
+		t.Error("equivalent regexes should compare equal")
+	}
+	if a1.Signature() != a2.Signature() {
+		t.Error("equivalent regexes should have equal signatures")
+	}
+	b := MustParseRegex("100.*")
+	if a1.Equals(b) {
+		t.Error("different languages compared equal")
+	}
+}
+
+func TestDeMorganOnLanguages(t *testing.T) {
+	// not(A ∪ B) == not A ∩ not B for random small regexes.
+	exprs := []string{"100.*", ".*400", "100|200", "(100 200)*", ".", "", "[100-105].*"}
+	for _, ea := range exprs {
+		for _, eb := range exprs {
+			a, b := MustParseRegex(ea), MustParseRegex(eb)
+			lhs := a.Union(b).Complement()
+			rhs := a.Complement().Intersect(b.Complement())
+			if !lhs.Equals(rhs) {
+				t.Errorf("De Morgan failed for %q, %q", ea, eb)
+			}
+		}
+	}
+}
+
+func TestMinusSelfEmpty(t *testing.T) {
+	for _, e := range []string{"100.*", ".*", "", "(100|200)+"} {
+		a := MustParseRegex(e)
+		if !a.Minus(a).IsEmpty() {
+			t.Errorf("%q minus itself should be empty", e)
+		}
+		if !a.Intersect(a).Equals(a) || !a.Union(a).Equals(a) {
+			t.Errorf("%q idempotence failed", e)
+		}
+	}
+}
+
+func TestShortestWord(t *testing.T) {
+	a := MustParseRegex("100 200.*|300")
+	word, ok := a.ShortestWord()
+	if !ok {
+		t.Fatal("language should be nonempty")
+	}
+	if len(word) != 1 || !a.Matches(word) {
+		t.Errorf("shortest word %v not a valid 1-symbol witness", word)
+	}
+	if _, ok := Empty().ShortestWord(); ok {
+		t.Error("Empty should have no shortest word")
+	}
+	ew, ok := EmptyWord().ShortestWord()
+	if !ok || len(ew) != 0 {
+		t.Error("EmptyWord witness should be the empty word")
+	}
+}
+
+// randomWord generates a word using symbols from a small pool plus symbols
+// outside it, to exercise "other" transitions.
+func randomWord(r *rand.Rand) []Symbol {
+	n := r.Intn(5)
+	word := make([]Symbol, n)
+	pool := []Symbol{100, 200, 300, 999999}
+	for i := range word {
+		word[i] = pool[r.Intn(len(pool))]
+	}
+	return word
+}
+
+func TestPropertyBooleanConsistency(t *testing.T) {
+	// For random words and a fixed set of languages, check that the boolean
+	// operations agree pointwise with Matches.
+	r := rand.New(rand.NewSource(11))
+	exprs := []string{"100.*", ".*400", "100|200", "(100 200)*", ".", ""}
+	autos := make([]*Automaton, len(exprs))
+	for i, e := range exprs {
+		autos[i] = MustParseRegex(e)
+	}
+	check := func(ai, bi uint8) bool {
+		a := autos[int(ai)%len(autos)]
+		b := autos[int(bi)%len(autos)]
+		inter, uni, min, comp := a.Intersect(b), a.Union(b), a.Minus(b), a.Complement()
+		for k := 0; k < 20; k++ {
+			word := randomWord(r)
+			ma, mb := a.Matches(word), b.Matches(word)
+			if inter.Matches(word) != (ma && mb) {
+				return false
+			}
+			if uni.Matches(word) != (ma || mb) {
+				return false
+			}
+			if min.Matches(word) != (ma && !mb) {
+				return false
+			}
+			if comp.Matches(word) != !ma {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConcatConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	a := MustParseRegex("100|200 300")
+	b := MustParseRegex("(400)*")
+	cat := a.Concat(b)
+	for k := 0; k < 500; k++ {
+		word := randomWord(r)
+		want := false
+		for cut := 0; cut <= len(word); cut++ {
+			if a.Matches(word[:cut]) && b.Matches(word[cut:]) {
+				want = true
+				break
+			}
+		}
+		if got := cat.Matches(word); got != want {
+			t.Fatalf("concat mismatch on %v: got %v want %v", word, got, want)
+		}
+	}
+}
+
+func TestMinimality(t *testing.T) {
+	// ".*" must have exactly 1 state; "100.*" exactly 3 (start, after-100
+	// accept-all, dead).
+	if n := AnyString().NumStates(); n != 1 {
+		t.Errorf(".* has %d states, want 1", n)
+	}
+	if n := MustParseRegex("100.*").NumStates(); n != 3 {
+		t.Errorf("100.* has %d states, want 3", n)
+	}
+	// Union of a language with itself must not grow the DFA.
+	a := MustParseRegex("100 200.*")
+	if a.Union(a).NumStates() != a.NumStates() {
+		t.Error("self-union changed state count")
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x := MustParseRegex("100.*")
+	y := MustParseRegex(".*(400|500)")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersect(y)
+	}
+}
+
+func BenchmarkConcatPrepend(b *testing.B) {
+	path := AnyString()
+	pre := FromWord(w(65001))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pre.Concat(path)
+	}
+}

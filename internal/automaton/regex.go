@@ -1,0 +1,436 @@
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseRegex compiles an AS-path regular expression into an Automaton.
+//
+// The expression language treats each AS number as one alphabet symbol:
+//
+//	100         the single-AS path [100]
+//	100 200     concatenation (whitespace or comma separated): [100 200]
+//	.           any single AS number
+//	.*          any path (including empty)
+//	100.*       paths starting with AS 100
+//	.*400       paths ending with AS 400
+//	(100|200)   alternation
+//	100+        one or more repetitions
+//	100?        zero or one
+//	[100-300]   any single AS in the numeric range
+//
+// Matching is anchored: the expression must describe the whole AS path,
+// matching BGP as-path regex semantics after anchoring.
+func ParseRegex(expr string) (*Automaton, error) {
+	p := &regexParser{input: expr}
+	ast, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("automaton: unexpected %q at offset %d in %q", p.input[p.pos], p.pos, expr)
+	}
+	n := buildNFA(ast)
+	return n.determinize(), nil
+}
+
+// MustParseRegex is ParseRegex that panics on error, for literals in tests
+// and generators.
+func MustParseRegex(expr string) *Automaton {
+	a, err := ParseRegex(expr)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// --- AST ---
+
+type reNode interface{ isRE() }
+
+type reEmptyWord struct{}              // ε
+type reSym struct{ s Symbol }          // single AS
+type reDot struct{}                    // any AS
+type reRange struct{ lo, hi Symbol }   // AS range [lo-hi]
+type reConcat struct{ parts []reNode } //
+type reAlt struct{ parts []reNode }    //
+type reStar struct{ inner reNode }     //
+type rePlus struct{ inner reNode }     //
+type reOpt struct{ inner reNode }      //
+
+func (reEmptyWord) isRE() {}
+func (reSym) isRE()       {}
+func (reDot) isRE()       {}
+func (reRange) isRE()     {}
+func (reConcat) isRE()    {}
+func (reAlt) isRE()       {}
+func (reStar) isRE()      {}
+func (rePlus) isRE()      {}
+func (reOpt) isRE()       {}
+
+// --- parser ---
+
+type regexParser struct {
+	input string
+	pos   int
+}
+
+func (p *regexParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == ',' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *regexParser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *regexParser) parseAlt() (reNode, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	parts := []reNode{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return reAlt{parts}, nil
+}
+
+func (p *regexParser) parseConcat() (reNode, error) {
+	var parts []reNode
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == 0 || c == ')' || c == '|' {
+			break
+		}
+		atom, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, atom)
+	}
+	switch len(parts) {
+	case 0:
+		return reEmptyWord{}, nil
+	case 1:
+		return parts[0], nil
+	}
+	return reConcat{parts}, nil
+}
+
+func (p *regexParser) parseRepeat() (reNode, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = reStar{atom}
+		case '+':
+			p.pos++
+			atom = rePlus{atom}
+		case '?':
+			p.pos++
+			atom = reOpt{atom}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *regexParser) parseAtom() (reNode, error) {
+	switch c := p.peek(); {
+	case c == '.':
+		p.pos++
+		return reDot{}, nil
+	case c == '(':
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("automaton: missing ) at offset %d in %q", p.pos, p.input)
+		}
+		p.pos++
+		return inner, nil
+	case c == '[':
+		p.pos++
+		lo, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != '-' {
+			return nil, fmt.Errorf("automaton: missing - in range at offset %d in %q", p.pos, p.input)
+		}
+		p.pos++
+		hi, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ']' {
+			return nil, fmt.Errorf("automaton: missing ] at offset %d in %q", p.pos, p.input)
+		}
+		p.pos++
+		if hi < lo {
+			return nil, fmt.Errorf("automaton: inverted range [%d-%d] in %q", lo, hi, p.input)
+		}
+		return reRange{lo, hi}, nil
+	case c >= '0' && c <= '9':
+		n, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return reSym{n}, nil
+	default:
+		return nil, fmt.Errorf("automaton: unexpected %q at offset %d in %q", c, p.pos, p.input)
+	}
+}
+
+func (p *regexParser) parseNumber() (Symbol, error) {
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("automaton: expected AS number at offset %d in %q", p.pos, p.input)
+	}
+	v, err := strconv.ParseUint(p.input[start:p.pos], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("automaton: bad AS number %q: %v", p.input[start:p.pos], err)
+	}
+	return Symbol(v), nil
+}
+
+// --- Thompson NFA ---
+
+// nfa edge labels: eps (no symbol), a specific symbol, or dot (any symbol).
+type nfaEdge struct {
+	kind edgeKind
+	sym  Symbol
+	lo   Symbol
+	hi   Symbol
+	to   int
+}
+
+type edgeKind uint8
+
+const (
+	edgeEps edgeKind = iota
+	edgeSym
+	edgeDot
+	edgeRange
+)
+
+type nfa struct {
+	edges  [][]nfaEdge
+	start  int
+	accept int
+}
+
+func (n *nfa) newState() int {
+	n.edges = append(n.edges, nil)
+	return len(n.edges) - 1
+}
+
+func (n *nfa) addEdge(from int, e nfaEdge) {
+	n.edges[from] = append(n.edges[from], e)
+}
+
+// buildNFA builds a Thompson NFA with a single accept state.
+func buildNFA(ast reNode) *nfa {
+	n := &nfa{}
+	start := n.newState()
+	accept := n.newState()
+	n.start, n.accept = start, accept
+	n.build(ast, start, accept)
+	return n
+}
+
+func (n *nfa) build(ast reNode, from, to int) {
+	switch x := ast.(type) {
+	case reEmptyWord:
+		n.addEdge(from, nfaEdge{kind: edgeEps, to: to})
+	case reSym:
+		n.addEdge(from, nfaEdge{kind: edgeSym, sym: x.s, to: to})
+	case reDot:
+		n.addEdge(from, nfaEdge{kind: edgeDot, to: to})
+	case reRange:
+		n.addEdge(from, nfaEdge{kind: edgeRange, lo: x.lo, hi: x.hi, to: to})
+	case reConcat:
+		prev := from
+		for i, part := range x.parts {
+			next := to
+			if i < len(x.parts)-1 {
+				next = n.newState()
+			}
+			n.build(part, prev, next)
+			prev = next
+		}
+	case reAlt:
+		for _, part := range x.parts {
+			n.build(part, from, to)
+		}
+	case reStar:
+		mid := n.newState()
+		n.addEdge(from, nfaEdge{kind: edgeEps, to: mid})
+		n.addEdge(mid, nfaEdge{kind: edgeEps, to: to})
+		n.build(x.inner, mid, mid)
+	case rePlus:
+		mid := n.newState()
+		n.build(x.inner, from, mid)
+		n.addEdge(mid, nfaEdge{kind: edgeEps, to: to})
+		n.build(x.inner, mid, mid)
+	case reOpt:
+		n.addEdge(from, nfaEdge{kind: edgeEps, to: to})
+		n.build(x.inner, from, to)
+	default:
+		panic(fmt.Sprintf("automaton: unknown AST node %T", ast))
+	}
+}
+
+// mentionedSymbols returns the sorted set of symbols that appear on sym or
+// range-boundary edges. Range edges contribute their endpoints plus interior
+// representative handling via explicit boundaries: we conservatively expand
+// small ranges and treat large ranges through boundary symbols plus "other"
+// — to stay exact we expand ranges up to a limit and reject larger ones.
+const maxRangeExpansion = 4096
+
+func (n *nfa) mentionedSymbols() ([]Symbol, error) {
+	set := map[Symbol]bool{}
+	for _, edges := range n.edges {
+		for _, e := range edges {
+			switch e.kind {
+			case edgeSym:
+				set[e.sym] = true
+			case edgeRange:
+				if uint64(e.hi)-uint64(e.lo) >= maxRangeExpansion {
+					return nil, fmt.Errorf("automaton: AS range [%d-%d] too wide (max %d)", e.lo, e.hi, maxRangeExpansion)
+				}
+				for s := e.lo; ; s++ {
+					set[s] = true
+					if s == e.hi {
+						break
+					}
+				}
+			}
+		}
+	}
+	out := make([]Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (n *nfa) epsClosure(set map[int]bool) {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.edges[s] {
+			if e.kind == edgeEps && !set[e.to] {
+				set[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+}
+
+func (n *nfa) move(set map[int]bool, s Symbol, isOther bool) map[int]bool {
+	out := map[int]bool{}
+	for st := range set {
+		for _, e := range n.edges[st] {
+			switch e.kind {
+			case edgeDot:
+				out[e.to] = true
+			case edgeSym:
+				if !isOther && e.sym == s {
+					out[e.to] = true
+				}
+			case edgeRange:
+				if !isOther && e.lo <= s && s <= e.hi {
+					out[e.to] = true
+				}
+			}
+		}
+	}
+	n.epsClosure(out)
+	return out
+}
+
+// determinize converts the NFA to a canonical minimal DFA.
+func (n *nfa) determinize() *Automaton {
+	syms, err := n.mentionedSymbols()
+	if err != nil {
+		panic(err)
+	}
+	encode := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		var sb strings.Builder
+		for _, s := range ids {
+			fmt.Fprintf(&sb, "%d,", s)
+		}
+		return sb.String()
+	}
+	startSet := map[int]bool{n.start: true}
+	n.epsClosure(startSet)
+
+	index := map[string]int{}
+	var sets []map[int]bool
+	var states []state
+	add := func(set map[int]bool) int {
+		key := encode(set)
+		if i, ok := index[key]; ok {
+			return i
+		}
+		i := len(sets)
+		index[key] = i
+		sets = append(sets, set)
+		states = append(states, state{trans: map[Symbol]int{}})
+		return i
+	}
+	start := add(startSet)
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		states[i].accept = set[n.accept]
+		for _, s := range syms {
+			states[i].trans[s] = add(n.move(set, s, false))
+		}
+		states[i].other = add(n.move(set, 0, true))
+	}
+	a := &Automaton{states: states, start: start}
+	return a.minimize()
+}

@@ -1,0 +1,660 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs).
+//
+// The package replaces the JDD Java library used by the Expresso paper. It
+// provides a Manager that hash-conses nodes into a shared table, exposes the
+// usual boolean connectives through a memoized ITE core, and supports the
+// quantification and inspection operations the verifier needs (Restrict,
+// Exists, Support, SatCount, AnySat).
+//
+// Nodes are identified by int32 handles. Handles 0 and 1 are the constants
+// False and True. Negation is a regular operation (not complement edges),
+// which keeps the implementation simple and the node table canonical.
+package bdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is a handle to a BDD node owned by a Manager. The zero value is the
+// constant False.
+type Node int32
+
+// Constant node handles.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// node is the internal representation: a decision on variable level with
+// low (variable=0) and high (variable=1) branches.
+type node struct {
+	level     int32 // variable index; constants use level = maxLevel
+	low, high Node
+}
+
+const maxLevel = math.MaxInt32
+
+// Manager owns a universe of BDD nodes over a fixed number of boolean
+// variables. All operations combining Nodes require them to come from the
+// same Manager. A Manager is not safe for concurrent use.
+type Manager struct {
+	nodes   []node
+	unique  hashTable
+	iteMemo hashTable
+	numVars int
+
+	// quantification/compose caches are keyed per operation invocation
+	// (they depend on the variable set), so they live in the call frames.
+}
+
+// hashTable is an open-addressing hash table from three-int32 keys to Node,
+// used for the unique table ((level, low, high) -> node) and the ITE memo
+// ((f, g, h) -> result). Go's built-in maps dominated the profile; this
+// table avoids their per-access overhead.
+type hashTable struct {
+	keys []tableKey
+	vals []Node
+	used int
+	mask uint32
+}
+
+type tableKey struct{ a, b, c int32 }
+
+const emptySlot = Node(-1)
+
+func newHashTable(capacity int) hashTable {
+	size := uint32(16)
+	for int(size)*2 < capacity*3 {
+		size *= 2
+	}
+	t := hashTable{
+		keys: make([]tableKey, size),
+		vals: make([]Node, size),
+		mask: size - 1,
+	}
+	for i := range t.vals {
+		t.vals[i] = emptySlot
+	}
+	return t
+}
+
+func hash3(a, b, c int32) uint32 {
+	h := uint64(uint32(a))*0x9E3779B1 ^ uint64(uint32(b))*0x85EBCA77 ^ uint64(uint32(c))*0xC2B2AE3D
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+func (t *hashTable) get(a, b, c int32) (Node, bool) {
+	i := hash3(a, b, c) & t.mask
+	for {
+		if t.vals[i] == emptySlot {
+			return 0, false
+		}
+		k := t.keys[i]
+		if k.a == a && k.b == b && k.c == c {
+			return t.vals[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *hashTable) put(a, b, c int32, v Node) {
+	if t.used*3 >= len(t.keys)*2 {
+		t.grow()
+	}
+	i := hash3(a, b, c) & t.mask
+	for t.vals[i] != emptySlot {
+		k := t.keys[i]
+		if k.a == a && k.b == b && k.c == c {
+			t.vals[i] = v
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	t.keys[i] = tableKey{a, b, c}
+	t.vals[i] = v
+	t.used++
+}
+
+func (t *hashTable) grow() {
+	old := *t
+	size := uint32(len(old.keys)) * 2
+	t.keys = make([]tableKey, size)
+	t.vals = make([]Node, size)
+	t.mask = size - 1
+	t.used = 0
+	for i := range t.vals {
+		t.vals[i] = emptySlot
+	}
+	for i, v := range old.vals {
+		if v != emptySlot {
+			k := old.keys[i]
+			t.put(k.a, k.b, k.c, v)
+		}
+	}
+}
+
+// New creates a Manager with numVars boolean variables, indexed 0..numVars-1.
+// Variable 0 is the topmost in the ordering.
+func New(numVars int) *Manager {
+	if numVars < 0 {
+		panic("bdd: negative variable count")
+	}
+	m := &Manager{
+		unique:  newHashTable(1024),
+		iteMemo: newHashTable(1024),
+		numVars: numVars,
+	}
+	// Slots 0 and 1 are the constants.
+	m.nodes = append(m.nodes,
+		node{level: maxLevel, low: False, high: False},
+		node{level: maxLevel, low: True, high: True},
+	)
+	return m
+}
+
+// NumVars returns the number of variables the manager was created with.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// NumNodes returns the total number of hash-consed nodes (including the two
+// constants). It is a proxy for memory use.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// AddVars grows the variable universe by n, returning the index of the first
+// new variable. Existing nodes are unaffected (new variables sort below all
+// current ones only in index, not in any node already built).
+func (m *Manager) AddVars(n int) int {
+	first := m.numVars
+	m.numVars += n
+	return first
+}
+
+func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
+func (m *Manager) low(n Node) Node    { return m.nodes[n].low }
+func (m *Manager) high(n Node) Node   { return m.nodes[n].high }
+
+// mk returns the canonical node for (level, low, high), applying the
+// reduction rule low==high => low.
+func (m *Manager) mk(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	if h, ok := m.unique.get(level, int32(low), int32(high)); ok {
+		return h
+	}
+	h := Node(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
+	m.unique.put(level, int32(low), int32(high), h)
+	return h
+}
+
+// Var returns the BDD for variable i (true iff variable i is 1).
+func (m *Manager) Var(i int) Node {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD for the negation of variable i.
+func (m *Manager) NVar(i int) Node {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+	return m.mk(int32(i), True, False)
+}
+
+// ITE computes if-then-else: f ? g : h. It is the core connective; all other
+// binary operations delegate to it.
+func (m *Manager) ITE(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	if r, ok := m.iteMemo.get(int32(f), int32(g), int32(h)); ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.iteMemo.put(int32(f), int32(g), int32(h), r)
+	return r
+}
+
+func (m *Manager) cofactors(n Node, level int32) (lo, hi Node) {
+	if m.level(n) == level {
+		return m.low(n), m.high(n)
+	}
+	return n, n
+}
+
+// And returns the conjunction of its arguments (True for no arguments).
+func (m *Manager) And(ns ...Node) Node {
+	r := True
+	for _, n := range ns {
+		if r == False {
+			return False
+		}
+		r = m.ITE(r, n, False)
+	}
+	return r
+}
+
+// Or returns the disjunction of its arguments (False for no arguments).
+func (m *Manager) Or(ns ...Node) Node {
+	r := False
+	for _, n := range ns {
+		if r == True {
+			return True
+		}
+		r = m.ITE(r, True, n)
+	}
+	return r
+}
+
+// Not returns the negation of n.
+func (m *Manager) Not(n Node) Node { return m.ITE(n, False, True) }
+
+// Xor returns the exclusive or of a and b.
+func (m *Manager) Xor(a, b Node) Node { return m.ITE(a, m.Not(b), b) }
+
+// Imp returns the implication a -> b.
+func (m *Manager) Imp(a, b Node) Node { return m.ITE(a, b, True) }
+
+// Biimp returns the biconditional a <-> b.
+func (m *Manager) Biimp(a, b Node) Node { return m.ITE(a, b, m.Not(b)) }
+
+// Diff returns a AND NOT b.
+func (m *Manager) Diff(a, b Node) Node { return m.ITE(b, False, a) }
+
+// Restrict fixes variable i to value and simplifies.
+func (m *Manager) Restrict(n Node, i int, value bool) Node {
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	lvl := int32(i)
+	rec = func(x Node) Node {
+		if m.level(x) > lvl {
+			return x // constants or nodes below the variable
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		var r Node
+		if m.level(x) == lvl {
+			if value {
+				r = m.high(x)
+			} else {
+				r = m.low(x)
+			}
+		} else {
+			r = m.mk(m.level(x), rec(m.low(x)), rec(m.high(x)))
+		}
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// RestrictMany fixes several variables at once and simplifies; it is a
+// single linear pass, unlike chained Restrict calls.
+func (m *Manager) RestrictMany(n Node, values map[int]bool) Node {
+	if len(values) == 0 {
+		return n
+	}
+	maxVar := int32(-1)
+	for v := range values {
+		if int32(v) > maxVar {
+			maxVar = int32(v)
+		}
+	}
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(x Node) Node {
+		if m.level(x) > maxVar {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		var r Node
+		if val, fixed := values[int(m.level(x))]; fixed {
+			if val {
+				r = rec(m.high(x))
+			} else {
+				r = rec(m.low(x))
+			}
+		} else {
+			r = m.mk(m.level(x), rec(m.low(x)), rec(m.high(x)))
+		}
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// RenameMonotone replaces variables per mapping, which must be strictly
+// order-preserving on the support of n (old_i < old_j implies
+// mapping[old_i] < mapping[old_j], and mapped variables must not interleave
+// with unmapped support variables out of order). Under that contract the
+// rename is a single linear rebuild; it panics if the contract is violated
+// in a way that breaks canonicity locally.
+func (m *Manager) RenameMonotone(n Node, mapping map[int]int) Node {
+	if len(mapping) == 0 {
+		return n
+	}
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(x Node) Node {
+		if x == True || x == False {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		lvl := int(m.level(x))
+		if nv, ok := mapping[lvl]; ok {
+			lvl = nv
+		}
+		lo, hi := rec(m.low(x)), rec(m.high(x))
+		if loN, hiN := m.level(lo), m.level(hi); int32(lvl) >= loN || int32(lvl) >= hiN {
+			panic("bdd: RenameMonotone mapping is not order-preserving")
+		}
+		r := m.mk(int32(lvl), lo, hi)
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// Exists existentially quantifies the given variables out of n.
+func (m *Manager) Exists(n Node, vars ...int) Node {
+	if len(vars) == 0 {
+		return n
+	}
+	set := make(map[int32]bool, len(vars))
+	maxVar := int32(-1)
+	for _, v := range vars {
+		set[int32(v)] = true
+		if int32(v) > maxVar {
+			maxVar = int32(v)
+		}
+	}
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(x Node) Node {
+		if m.level(x) > maxVar {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		lo, hi := rec(m.low(x)), rec(m.high(x))
+		var r Node
+		if set[m.level(x)] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(m.level(x), lo, hi)
+		}
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// Forall universally quantifies the given variables out of n.
+func (m *Manager) Forall(n Node, vars ...int) Node {
+	return m.Not(m.Exists(m.Not(n), vars...))
+}
+
+// Rename replaces each variable old with mapping[old] in n. The mapping must
+// be injective, and no renamed variable may collide with a remaining variable
+// of n in a way that violates ordering canonicity; this implementation
+// rebuilds the BDD from scratch so any injective mapping is safe.
+func (m *Manager) Rename(n Node, mapping map[int]int) Node {
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(x Node) Node {
+		if x == True || x == False {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		lvl := int(m.level(x))
+		if nv, ok := mapping[lvl]; ok {
+			lvl = nv
+		}
+		v := m.Var(lvl)
+		r := m.ITE(v, rec(m.high(x)), rec(m.low(x)))
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// Support returns the sorted list of variables n depends on.
+func (m *Manager) Support(n Node) []int {
+	seen := make(map[Node]bool)
+	vars := make(map[int]bool)
+	var rec func(Node)
+	rec = func(x Node) {
+		if x == True || x == False || seen[x] {
+			return
+		}
+		seen[x] = true
+		vars[int(m.level(x))] = true
+		rec(m.low(x))
+		rec(m.high(x))
+	}
+	rec(n)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SatCount returns the number of satisfying assignments of n over all
+// manager variables, as a float64 (may overflow to +Inf for very wide
+// universes; callers needing exact small counts should restrict the
+// variable set via SatCountVars).
+func (m *Manager) SatCount(n Node) float64 {
+	return m.SatCountVars(n, m.numVars)
+}
+
+// SatCountVars returns the number of satisfying assignments over the first
+// numVars variables (which must include the support of n).
+func (m *Manager) SatCountVars(n Node, numVars int) float64 {
+	if n == False {
+		return 0
+	}
+	if n == True {
+		return math.Pow(2, float64(numVars))
+	}
+	lvlOf := func(x Node) float64 {
+		if x == True || x == False {
+			return float64(numVars)
+		}
+		return float64(m.level(x))
+	}
+	memo := make(map[Node]float64)
+	// rec(x) counts assignments over variables [level(x), numVars).
+	var rec func(Node) float64
+	rec = func(x Node) float64 {
+		if x == False {
+			return 0
+		}
+		if x == True {
+			return 1
+		}
+		if c, ok := memo[x]; ok {
+			return c
+		}
+		lvl := float64(m.level(x))
+		clo := rec(m.low(x)) * math.Pow(2, lvlOf(m.low(x))-lvl-1)
+		chi := rec(m.high(x)) * math.Pow(2, lvlOf(m.high(x))-lvl-1)
+		c := clo + chi
+		memo[x] = c
+		return c
+	}
+	return rec(n) * math.Pow(2, lvlOf(n))
+}
+
+// AnySat returns one satisfying assignment of n as a map from variable index
+// to value, covering only the variables on the chosen path. It returns nil
+// if n is unsatisfiable.
+func (m *Manager) AnySat(n Node) map[int]bool {
+	if n == False {
+		return nil
+	}
+	assign := make(map[int]bool)
+	for n != True {
+		if m.low(n) != False {
+			assign[int(m.level(n))] = false
+			n = m.low(n)
+		} else {
+			assign[int(m.level(n))] = true
+			n = m.high(n)
+		}
+	}
+	return assign
+}
+
+// AllSat invokes fn for every satisfying path of n. Each path is a map from
+// variable to value covering only the decision variables on that path
+// (unmentioned variables are free). fn must not retain the map. If fn
+// returns false, enumeration stops early.
+func (m *Manager) AllSat(n Node, fn func(map[int]bool) bool) {
+	assign := make(map[int]bool)
+	var rec func(Node) bool
+	rec = func(x Node) bool {
+		if x == False {
+			return true
+		}
+		if x == True {
+			return fn(assign)
+		}
+		v := int(m.level(x))
+		assign[v] = false
+		if !rec(m.low(x)) {
+			delete(assign, v)
+			return false
+		}
+		assign[v] = true
+		if !rec(m.high(x)) {
+			delete(assign, v)
+			return false
+		}
+		delete(assign, v)
+		return true
+	}
+	rec(n)
+}
+
+// Eval evaluates n under a complete assignment (missing variables default to
+// false).
+func (m *Manager) Eval(n Node, assign map[int]bool) bool {
+	for n != True && n != False {
+		if assign[int(m.level(n))] {
+			n = m.high(n)
+		} else {
+			n = m.low(n)
+		}
+	}
+	return n == True
+}
+
+// Cube returns the conjunction of literals: vars[i] if values[i], else its
+// negation.
+func (m *Manager) Cube(vars []int, values []bool) Node {
+	if len(vars) != len(values) {
+		panic("bdd: Cube length mismatch")
+	}
+	r := True
+	// Build bottom-up for efficiency: sort descending by variable.
+	idx := make([]int, len(vars))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vars[idx[a]] > vars[idx[b]] })
+	for _, i := range idx {
+		v := vars[i]
+		if values[i] {
+			r = m.mk(int32(v), False, r)
+		} else {
+			r = m.mk(int32(v), r, False)
+		}
+	}
+	return r
+}
+
+// UintCube encodes value in the given bit variables (vars[0] is the most
+// significant bit) as a conjunction of literals.
+func (m *Manager) UintCube(vars []int, value uint64) Node {
+	values := make([]bool, len(vars))
+	for i := range vars {
+		values[i] = value&(1<<(len(vars)-1-i)) != 0
+	}
+	return m.Cube(vars, values)
+}
+
+// UintLE returns the predicate "bits <= bound" over the given bit variables
+// (vars[0] most significant).
+func (m *Manager) UintLE(vars []int, bound uint64) Node {
+	// Build from least significant upward: standard comparator recursion.
+	// le(i) handles bits vars[i:].
+	var build func(i int) Node
+	build = func(i int) Node {
+		if i == len(vars) {
+			return True
+		}
+		bit := bound&(1<<(len(vars)-1-i)) != 0
+		rest := build(i + 1)
+		v := m.Var(vars[i])
+		if bit {
+			// var=0 -> anything below; var=1 -> rest must satisfy.
+			return m.ITE(v, rest, True)
+		}
+		// bit=0: var must be 0 and rest satisfy.
+		return m.ITE(v, False, rest)
+	}
+	return build(0)
+}
+
+// UintGE returns the predicate "bits >= bound" over the given bit variables.
+func (m *Manager) UintGE(vars []int, bound uint64) Node {
+	if bound == 0 {
+		return True
+	}
+	return m.Not(m.UintLE(vars, bound-1))
+}
+
+// ClearCaches drops the memoization tables (the unique table is retained, so
+// existing handles stay valid). Useful between large independent phases.
+func (m *Manager) ClearCaches() {
+	m.iteMemo = newHashTable(1024)
+}
+
+// CacheSize returns the number of memoized ITE results, a proxy for the
+// cache's memory footprint.
+func (m *Manager) CacheSize() int { return m.iteMemo.used }

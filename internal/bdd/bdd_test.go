@@ -1,0 +1,424 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstants(t *testing.T) {
+	m := New(4)
+	if m.Not(True) != False {
+		t.Errorf("Not(True) = %v, want False", m.Not(True))
+	}
+	if m.Not(False) != True {
+		t.Errorf("Not(False) = %v, want True", m.Not(False))
+	}
+	if m.And() != True {
+		t.Errorf("And() = %v, want True", m.And())
+	}
+	if m.Or() != False {
+		t.Errorf("Or() = %v, want False", m.Or())
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	if a == b {
+		t.Fatal("distinct variables must have distinct handles")
+	}
+	if m.And(a, m.Not(a)) != False {
+		t.Error("a AND NOT a should be False")
+	}
+	if m.Or(a, m.Not(a)) != True {
+		t.Error("a OR NOT a should be True")
+	}
+	if m.NVar(0) != m.Not(a) {
+		t.Error("NVar(0) should equal Not(Var(0))")
+	}
+	if m.And(a, b) != m.And(b, a) {
+		t.Error("AND should be commutative (canonical handles)")
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Var(5) should panic")
+		}
+	}()
+	m.Var(5)
+}
+
+func TestITETruthTable(t *testing.T) {
+	m := New(3)
+	f, g, h := m.Var(0), m.Var(1), m.Var(2)
+	ite := m.ITE(f, g, h)
+	for bits := 0; bits < 8; bits++ {
+		assign := map[int]bool{0: bits&4 != 0, 1: bits&2 != 0, 2: bits&1 != 0}
+		want := assign[1]
+		if !assign[0] {
+			want = assign[2]
+		}
+		if got := m.Eval(ite, assign); got != want {
+			t.Errorf("ITE eval %v = %v, want %v", assign, got, want)
+		}
+	}
+}
+
+func TestXorImpBiimp(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	for bits := 0; bits < 4; bits++ {
+		assign := map[int]bool{0: bits&2 != 0, 1: bits&1 != 0}
+		av, bv := assign[0], assign[1]
+		if got := m.Eval(m.Xor(a, b), assign); got != (av != bv) {
+			t.Errorf("Xor%v = %v", assign, got)
+		}
+		if got := m.Eval(m.Imp(a, b), assign); got != (!av || bv) {
+			t.Errorf("Imp%v = %v", assign, got)
+		}
+		if got := m.Eval(m.Biimp(a, b), assign); got != (av == bv) {
+			t.Errorf("Biimp%v = %v", assign, got)
+		}
+		if got := m.Eval(m.Diff(a, b), assign); got != (av && !bv) {
+			t.Errorf("Diff%v = %v", assign, got)
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.And(m.Not(a), c))
+	if got := m.Restrict(f, 0, true); got != b {
+		t.Errorf("Restrict(f, a=1) = %v, want b", got)
+	}
+	if got := m.Restrict(f, 0, false); got != c {
+		t.Errorf("Restrict(f, a=0) = %v, want c", got)
+	}
+	// Restricting a variable not in support is a no-op.
+	if got := m.Restrict(b, 0, true); got != b {
+		t.Errorf("Restrict on non-support var changed node")
+	}
+}
+
+func TestExistsForall(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	if got := m.Exists(f, 0); got != b {
+		t.Errorf("Exists a.(a AND b) = %v, want b", got)
+	}
+	if got := m.Forall(f, 0); got != False {
+		t.Errorf("Forall a.(a AND b) = %v, want False", got)
+	}
+	g := m.Or(a, b)
+	if got := m.Forall(g, 0); got != b {
+		t.Errorf("Forall a.(a OR b) = %v, want b", got)
+	}
+	if got := m.Exists(g, 0, 1); got != True {
+		t.Errorf("Exists a,b.(a OR b) = %v, want True", got)
+	}
+}
+
+func TestRename(t *testing.T) {
+	m := New(6)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, m.Not(b))
+	g := m.Rename(f, map[int]int{0: 3, 1: 4})
+	want := m.And(m.Var(3), m.Not(m.Var(4)))
+	if g != want {
+		t.Errorf("Rename result mismatch")
+	}
+	// Swap via rename must also work (rebuilding handles ordering).
+	h := m.Rename(f, map[int]int{0: 1, 1: 0})
+	want2 := m.And(m.Var(1), m.Not(m.Var(0)))
+	if h != want2 {
+		t.Errorf("swap Rename result mismatch")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.Or(m.And(m.Var(0), m.Var(3)), m.Var(4))
+	got := m.Support(f)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Support = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Support = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(3)
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("SatCount(True) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %v, want 0", got)
+	}
+	a, b := m.Var(0), m.Var(1)
+	if got := m.SatCount(a); got != 4 {
+		t.Errorf("SatCount(a) = %v, want 4", got)
+	}
+	if got := m.SatCount(m.And(a, b)); got != 2 {
+		t.Errorf("SatCount(a AND b) = %v, want 2", got)
+	}
+	if got := m.SatCount(m.Or(a, b)); got != 6 {
+		t.Errorf("SatCount(a OR b) = %v, want 6", got)
+	}
+	if got := m.SatCount(m.Xor(a, m.Var(2))); got != 4 {
+		t.Errorf("SatCount(a XOR c) = %v, want 4", got)
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(1), m.Not(m.Var(3)))
+	got := m.AnySat(f)
+	if got == nil {
+		t.Fatal("AnySat returned nil for satisfiable formula")
+	}
+	if !m.Eval(f, got) {
+		t.Errorf("AnySat assignment %v does not satisfy f", got)
+	}
+	if m.AnySat(False) != nil {
+		t.Error("AnySat(False) should be nil")
+	}
+}
+
+func TestAllSat(t *testing.T) {
+	m := New(2)
+	f := m.Or(m.Var(0), m.Var(1))
+	count := 0
+	m.AllSat(f, func(a map[int]bool) bool {
+		count++
+		if !m.Eval(f, a) {
+			// Free variables default false in Eval; a path assignment must
+			// satisfy regardless, so evaluate with defaults.
+			t.Errorf("AllSat path %v does not satisfy f", a)
+		}
+		return true
+	})
+	if count == 0 {
+		t.Error("AllSat found no paths")
+	}
+	// Early stop.
+	n := 0
+	m.AllSat(True, func(map[int]bool) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("AllSat early stop visited %d paths, want 1", n)
+	}
+}
+
+func TestCube(t *testing.T) {
+	m := New(4)
+	c := m.Cube([]int{0, 2}, []bool{true, false})
+	want := m.And(m.Var(0), m.Not(m.Var(2)))
+	if c != want {
+		t.Error("Cube mismatch")
+	}
+}
+
+func TestUintCube(t *testing.T) {
+	m := New(4)
+	vars := []int{0, 1, 2, 3}
+	c := m.UintCube(vars, 0b1010)
+	assign := map[int]bool{0: true, 1: false, 2: true, 3: false}
+	if !m.Eval(c, assign) {
+		t.Error("UintCube(1010) should accept 1010")
+	}
+	if m.Eval(c, map[int]bool{0: true, 1: true, 2: true, 3: false}) {
+		t.Error("UintCube(1010) should reject 1110")
+	}
+	if got := m.SatCount(c); got != 1 {
+		t.Errorf("SatCount(UintCube) = %v, want 1", got)
+	}
+}
+
+func TestUintLEGE(t *testing.T) {
+	m := New(4)
+	vars := []int{0, 1, 2, 3}
+	le := m.UintLE(vars, 5)
+	ge := m.UintGE(vars, 5)
+	for v := uint64(0); v < 16; v++ {
+		assign := map[int]bool{}
+		for i := 0; i < 4; i++ {
+			assign[i] = v&(1<<(3-i)) != 0
+		}
+		if got := m.Eval(le, assign); got != (v <= 5) {
+			t.Errorf("UintLE(5) at %d = %v", v, got)
+		}
+		if got := m.Eval(ge, assign); got != (v >= 5) {
+			t.Errorf("UintGE(5) at %d = %v", v, got)
+		}
+	}
+	if m.UintGE(vars, 0) != True {
+		t.Error("UintGE(0) should be True")
+	}
+	if got := m.SatCount(m.UintLE(vars, 15)); got != 16 {
+		t.Errorf("SatCount(UintLE(15)) = %v, want 16", got)
+	}
+}
+
+// randomFormula builds a random BDD over nv variables along with an
+// equivalent evaluator function, for differential testing.
+func randomFormula(m *Manager, r *rand.Rand, nv, depth int) (Node, func(map[int]bool) bool) {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return True, func(map[int]bool) bool { return true }
+		case 1:
+			return False, func(map[int]bool) bool { return false }
+		default:
+			v := r.Intn(nv)
+			return m.Var(v), func(a map[int]bool) bool { return a[v] }
+		}
+	}
+	l, lf := randomFormula(m, r, nv, depth-1)
+	rn, rf := randomFormula(m, r, nv, depth-1)
+	switch r.Intn(4) {
+	case 0:
+		return m.And(l, rn), func(a map[int]bool) bool { return lf(a) && rf(a) }
+	case 1:
+		return m.Or(l, rn), func(a map[int]bool) bool { return lf(a) || rf(a) }
+	case 2:
+		return m.Xor(l, rn), func(a map[int]bool) bool { return lf(a) != rf(a) }
+	default:
+		return m.Not(l), func(a map[int]bool) bool { return !lf(a) }
+	}
+}
+
+func TestRandomFormulaEquivalence(t *testing.T) {
+	const nv = 6
+	r := rand.New(rand.NewSource(42))
+	m := New(nv)
+	for trial := 0; trial < 200; trial++ {
+		f, eval := randomFormula(m, r, nv, 5)
+		for bits := 0; bits < 1<<nv; bits++ {
+			assign := make(map[int]bool, nv)
+			for i := 0; i < nv; i++ {
+				assign[i] = bits&(1<<i) != 0
+			}
+			if m.Eval(f, assign) != eval(assign) {
+				t.Fatalf("trial %d: BDD and evaluator disagree at %v", trial, assign)
+			}
+		}
+	}
+}
+
+func TestBooleanAlgebraLaws(t *testing.T) {
+	// Property-based: De Morgan, distributivity, absorption, double negation
+	// on random formulas. Canonicity of ROBDDs means semantic equality is
+	// handle equality.
+	const nv = 5
+	r := rand.New(rand.NewSource(7))
+	m := New(nv)
+	check := func() bool {
+		a, _ := randomFormula(m, r, nv, 4)
+		b, _ := randomFormula(m, r, nv, 4)
+		c, _ := randomFormula(m, r, nv, 4)
+		if m.Not(m.And(a, b)) != m.Or(m.Not(a), m.Not(b)) {
+			return false
+		}
+		if m.And(a, m.Or(b, c)) != m.Or(m.And(a, b), m.And(a, c)) {
+			return false
+		}
+		if m.Or(a, m.And(a, b)) != a {
+			return false
+		}
+		if m.Not(m.Not(a)) != a {
+			return false
+		}
+		if m.Diff(a, b) != m.And(a, m.Not(b)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExistsIsDisjunctionOfRestrictions(t *testing.T) {
+	const nv = 5
+	r := rand.New(rand.NewSource(99))
+	m := New(nv)
+	check := func() bool {
+		f, _ := randomFormula(m, r, nv, 4)
+		v := r.Intn(nv)
+		return m.Exists(f, v) == m.Or(m.Restrict(f, v, false), m.Restrict(f, v, true))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatCountMatchesEnumeration(t *testing.T) {
+	const nv = 6
+	r := rand.New(rand.NewSource(3))
+	m := New(nv)
+	for trial := 0; trial < 50; trial++ {
+		f, _ := randomFormula(m, r, nv, 4)
+		var brute float64
+		for bits := 0; bits < 1<<nv; bits++ {
+			assign := make(map[int]bool, nv)
+			for i := 0; i < nv; i++ {
+				assign[i] = bits&(1<<i) != 0
+			}
+			if m.Eval(f, assign) {
+				brute++
+			}
+		}
+		if got := m.SatCount(f); got != brute {
+			t.Fatalf("trial %d: SatCount = %v, brute force = %v", trial, got, brute)
+		}
+	}
+}
+
+func TestAddVars(t *testing.T) {
+	m := New(2)
+	f := m.Var(1)
+	first := m.AddVars(3)
+	if first != 2 {
+		t.Errorf("AddVars returned %d, want 2", first)
+	}
+	if m.NumVars() != 5 {
+		t.Errorf("NumVars = %d, want 5", m.NumVars())
+	}
+	g := m.And(f, m.Var(4))
+	if m.Eval(g, map[int]bool{1: true, 4: true}) != true {
+		t.Error("formula over added vars misbehaves")
+	}
+}
+
+func TestClearCaches(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	m.ClearCaches()
+	if g := m.And(a, b); g != f {
+		t.Error("handles must remain stable across ClearCaches")
+	}
+}
+
+func BenchmarkITEChain(b *testing.B) {
+	m := New(64)
+	for i := 0; i < b.N; i++ {
+		f := True
+		for v := 0; v < 64; v++ {
+			if v%2 == 0 {
+				f = m.And(f, m.Var(v))
+			} else {
+				f = m.Or(f, m.Var(v))
+			}
+		}
+	}
+}

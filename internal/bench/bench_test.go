@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastCfg() Config {
+	return Config{Quick: true, MSBudget: 2 * time.Second}
+}
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := Table1(&sb, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"region1", "region4", "full(old)", "config-lines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig7(&sb, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "TIMEOUT") {
+		t.Errorf("Fig7b should show the path-set encoding timing out:\n%s", out)
+	}
+	if !strings.Contains(out, "automaton") || !strings.Contains(out, "atomic-predicate") {
+		t.Error("Fig7 output missing encoding columns")
+	}
+}
+
+func TestEnumerationQuick(t *testing.T) {
+	var sb strings.Builder
+	if err := Enumeration(&sb, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "environments checked") {
+		t.Errorf("Enumeration output malformed:\n%s", sb.String())
+	}
+}
+
+func TestTable3QuickSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute experiment")
+	}
+	var sb strings.Builder
+	if err := Table3(&sb, fastCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "SRC") || !strings.Contains(out, "region1") {
+		t.Errorf("Table3 output malformed:\n%s", out)
+	}
+}
+
+func TestRunExpressoLeakRow(t *testing.T) {
+	d := allDatasets(true)[0] // region1
+	row, err := runExpressoLeak(d, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.verifier != "Expresso" || row.runtime <= 0 {
+		t.Errorf("row = %+v", row)
+	}
+	rowMinus, err := runExpressoLeak(d, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowMinus.verifier != "Expresso-" {
+		t.Errorf("row = %+v", rowMinus)
+	}
+}
+
+func TestRunMinesweeperRowTimesOut(t *testing.T) {
+	d := allDatasets(true)[0]
+	row, err := runMinesweeperLeak(d, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.timedOut && row.runtime > time.Second {
+		t.Errorf("tiny budget should time out or finish fast: %+v", row)
+	}
+	if !strings.Contains(row.timeCell(), "s") {
+		t.Error("timeCell malformed")
+	}
+}

@@ -1,0 +1,201 @@
+// Package bgpsim is an event-driven, message-level BGP simulator
+// implementing the asynchronous execution schedules of the paper's
+// Appendix D: routers exchange UPDATE messages over per-session channels,
+// and a seeded scheduler picks which pending message to deliver next
+// (the trace-back function ω of D.1 corresponds to the delivery order).
+//
+// The simulator shares its transfer and merge semantics with the
+// synchronous SPVP engine (internal/spvp), so differential tests can check
+// that every asynchronous schedule converges to the same stable state the
+// synchronous fixed point computes — the property Theorem 3 builds on.
+package bgpsim
+
+import (
+	"math/rand"
+
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/spvp"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+// message is one BGP UPDATE: the sender's full advertised route set for
+// the prefix (an implicit-withdraw model: the latest message replaces all
+// earlier state from that sender).
+type message struct {
+	from, to string
+	routes   []route.Route
+}
+
+// session identifies a directed BGP session; messages on one session are
+// delivered in order (BGP runs over TCP), while the scheduler freely
+// interleaves sessions — Appendix D's asynchronous schedule.
+type session struct{ from, to string }
+
+// Sim is an asynchronous simulation instance for one prefix and one
+// concrete environment.
+type Sim struct {
+	net    *topology.Network
+	prefix route.Prefix
+	rng    *rand.Rand
+
+	// received[v][u] is the latest processed advertisement from u at v.
+	received map[string]map[string][]route.Route
+	best     map[string][]route.Route
+	// queues holds per-session FIFO message queues; pending lists sessions
+	// with undelivered messages.
+	queues  map[session][]message
+	pending []session
+
+	// Delivered counts processed messages (a cost metric).
+	Delivered int
+}
+
+// New creates a simulation with a seeded scheduler. env lists the routes
+// each external neighbor advertises (as in spvp.Environment).
+func New(net *topology.Network, prefix route.Prefix, env spvp.Environment, seed int64) *Sim {
+	s := &Sim{
+		net:      net,
+		prefix:   prefix,
+		rng:      rand.New(rand.NewSource(seed)),
+		received: map[string]map[string][]route.Route{},
+		best:     map[string][]route.Route{},
+		queues:   map[session][]message{},
+	}
+	for _, v := range net.Internals {
+		s.received[v] = map[string][]route.Route{}
+		s.best[v] = spvp.MergeRoutes(spvp.Originated(net, v, prefix))
+		s.announce(v)
+	}
+	// External neighbors advertise their environment routes once.
+	for _, e := range net.Externals {
+		var rs []route.Route
+		for _, r := range env[e] {
+			if r.Prefix != prefix {
+				continue
+			}
+			r = r.Clone()
+			if r.Communities == nil {
+				r.Communities = route.CommunitySet{}
+			}
+			r.Originator = e
+			r.Path = []string{e}
+			r.NextHop = e
+			rs = append(rs, r)
+		}
+		for _, u := range net.Neighbors(e) {
+			s.enqueue(message{from: e, to: u, routes: rs})
+		}
+	}
+	return s
+}
+
+// announce enqueues v's current best routes toward every neighbor, applying
+// export processing per session.
+func (s *Sim) announce(v string) {
+	for _, u := range s.net.Neighbors(v) {
+		if !s.net.IsInternal(u) {
+			continue // what the network sends externals is derived at the end
+		}
+		var out []route.Route
+		for _, r := range s.best[v] {
+			if er, ok := spvp.Export(s.net, v, u, r); ok {
+				out = append(out, er)
+			}
+		}
+		// advertise-default sessions originate a default route.
+		sess := s.net.Session(v, u)
+		if sess != nil && sess.AdvertiseDefault && s.prefix == spvp.DefaultPrefix {
+			out = append(out, route.Route{
+				Prefix:      spvp.DefaultPrefix,
+				Communities: route.CommunitySet{},
+				LocalPref:   route.DefaultLocalPref,
+				Originator:  v,
+				Path:        []string{v},
+			})
+		}
+		s.enqueue(message{from: v, to: u, routes: out})
+	}
+}
+
+// enqueue appends a message to its session's FIFO queue.
+func (s *Sim) enqueue(m message) {
+	k := session{m.from, m.to}
+	if len(s.queues[k]) == 0 {
+		s.pending = append(s.pending, k)
+	}
+	s.queues[k] = append(s.queues[k], m)
+}
+
+// step delivers the oldest message of a randomly chosen pending session;
+// it returns false when no messages remain (convergence).
+func (s *Sim) step() bool {
+	if len(s.pending) == 0 {
+		return false
+	}
+	i := s.rng.Intn(len(s.pending))
+	k := s.pending[i]
+	q := s.queues[k]
+	m := q[0]
+	if len(q) == 1 {
+		delete(s.queues, k)
+		s.pending[i] = s.pending[len(s.pending)-1]
+		s.pending = s.pending[:len(s.pending)-1]
+	} else {
+		s.queues[k] = q[1:]
+	}
+	s.Delivered++
+
+	v := m.to
+	var imported []route.Route
+	for _, r := range m.routes {
+		if ir, ok := spvp.Import(s.net, v, m.from, r); ok {
+			imported = append(imported, ir)
+		}
+	}
+	s.received[v][m.from] = imported
+
+	// Recompute the best routes from origination plus the latest state of
+	// every session.
+	candidates := append([]route.Route(nil), spvp.Originated(s.net, v, s.prefix)...)
+	for _, rs := range s.received[v] {
+		candidates = append(candidates, rs...)
+	}
+	next := spvp.MergeRoutes(candidates)
+	if ribEqual(next, s.best[v]) {
+		return true
+	}
+	s.best[v] = next
+	s.announce(v)
+	return true
+}
+
+func ribEqual(a, b []route.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() || len(a[i].Path) != len(b[i].Path) {
+			return false
+		}
+		for j := range a[i].Path {
+			if a[i].Path[j] != b[i].Path[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Run delivers messages until quiescence or the step cap, returning true
+// on convergence.
+func (s *Sim) Run(maxSteps int) bool {
+	for i := 0; i < maxSteps; i++ {
+		if !s.step() {
+			return true
+		}
+	}
+	return len(s.pending) == 0
+}
+
+// Best returns the converged best routes of a router.
+func (s *Sim) Best(v string) []route.Route { return s.best[v] }

@@ -1,0 +1,133 @@
+package bgpsim
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/spvp"
+	"github.com/expresso-verify/expresso/internal/testnet"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+func mustNet(t *testing.T, text string) *topology.Network {
+	t.Helper()
+	devices, err := config.ParseConfigs(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Build(devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func extRoute(prefix string, asPath ...uint32) route.Route {
+	return route.Route{
+		Prefix:      route.MustParsePrefix(prefix),
+		ASPath:      asPath,
+		Communities: route.CommunitySet{},
+		LocalPref:   route.DefaultLocalPref,
+	}
+}
+
+// ribsMatch compares the async result with the synchronous SPVP result on
+// the preference-relevant attributes.
+func ribsMatch(a, b []route.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.LocalPref != y.LocalPref || len(x.ASPath) != len(y.ASPath) ||
+			x.NextHop != y.NextHop || x.Originator != y.Originator {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAsyncMatchesSyncFigure4(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	p := route.MustParsePrefix("128.0.0.0/2")
+	env := spvp.Environment{
+		"ISP1": {extRoute("128.0.0.0/2", 100)},
+		"ISP2": {extRoute("128.0.0.0/2", 200)},
+	}
+	sync := spvp.Run(net, p, env)
+	for seed := int64(0); seed < 25; seed++ {
+		sim := New(net, p, env, seed)
+		if !sim.Run(10000) {
+			t.Fatalf("seed %d: async simulation did not converge", seed)
+		}
+		for _, v := range net.Internals {
+			if !ribsMatch(sim.Best(v), sync.Best[v]) {
+				t.Fatalf("seed %d router %s: async %v != sync %v", seed, v, sim.Best(v), sync.Best[v])
+			}
+		}
+	}
+}
+
+func TestAsyncMatchesSyncCase1(t *testing.T) {
+	net := mustNet(t, testnet.Case1Blackhole)
+	p := route.MustParsePrefix("10.1.0.0/16")
+	env := spvp.Environment{
+		"DC": {extRoute("10.1.0.0/16", 65500)},
+		"D":  {extRoute("10.1.0.0/16", 200)},
+	}
+	sync := spvp.Run(net, p, env)
+	for seed := int64(0); seed < 25; seed++ {
+		sim := New(net, p, env, seed)
+		if !sim.Run(10000) {
+			t.Fatalf("seed %d: no convergence", seed)
+		}
+		// The blackhole at B must appear under every schedule.
+		if len(sim.Best("B")) != 0 {
+			t.Fatalf("seed %d: B should be blackholed, has %v", seed, sim.Best("B"))
+		}
+		for _, v := range net.Internals {
+			if !ribsMatch(sim.Best(v), sync.Best[v]) {
+				t.Fatalf("seed %d router %s: async/sync divergence", seed, v)
+			}
+		}
+	}
+}
+
+func TestAsyncRouteReflection(t *testing.T) {
+	text := `
+router RR
+bgp as 65000
+bgp peer PR1 AS 65000 reflect-client advertise-community
+bgp peer PR2 AS 65000 reflect-client advertise-community
+
+router PR1
+bgp as 65000
+bgp network 10.0.0.0/8
+bgp peer RR AS 65000 advertise-community
+
+router PR2
+bgp as 65000
+bgp peer RR AS 65000 advertise-community
+`
+	net := mustNet(t, text)
+	p := route.MustParsePrefix("10.0.0.0/8")
+	for seed := int64(0); seed < 10; seed++ {
+		sim := New(net, p, spvp.Environment{}, seed)
+		if !sim.Run(10000) {
+			t.Fatal("no convergence")
+		}
+		if rs := sim.Best("PR2"); len(rs) != 1 || rs[0].NextHop != "RR" {
+			t.Fatalf("seed %d: reflection failed: %v", seed, rs)
+		}
+	}
+}
+
+func TestDeliveredCounted(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	sim := New(net, route.MustParsePrefix("0.0.0.0/2"), spvp.Environment{}, 1)
+	sim.Run(10000)
+	if sim.Delivered == 0 {
+		t.Error("no messages delivered")
+	}
+}

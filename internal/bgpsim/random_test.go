@@ -1,0 +1,81 @@
+package bgpsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/spvp"
+)
+
+// randomNet builds a small random eBGP mesh with prefix-only policies (the
+// policy class for which the stable state is unique, so every schedule must
+// reach the synchronous result).
+func randomNet(r *rand.Rand) string {
+	n := 2 + r.Intn(3)
+	prefixes := []string{"10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"}
+	var sb []byte
+	add := func(format string, args ...interface{}) {
+		sb = append(sb, fmt.Sprintf(format, args...)...)
+		sb = append(sb, '\n')
+	}
+	for i := 0; i < n; i++ {
+		add("router R%d", i)
+		add("bgp as %d", 100+i)
+		if i == 0 {
+			add("bgp network %s", prefixes[0])
+		}
+		add("route-policy pol permit node 10")
+		if r.Intn(2) == 0 {
+			add(" set local-preference %d", 100+50*r.Intn(3))
+		}
+		for j := 0; j < n; j++ {
+			if j != i {
+				add("bgp peer R%d remote-as %d import pol export pol", j, 100+j)
+			}
+		}
+		if i%2 == 0 {
+			add("bgp peer EXT%d remote-as %d import pol export pol", i, 900+i)
+		}
+	}
+	return string(sb)
+}
+
+func TestRandomSchedulesConvergeToSyncState(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 10; trial++ {
+		text := randomNet(r)
+		net := mustNet(t, text)
+		for _, pfxText := range []string{"10.0.0.0/8", "20.0.0.0/8"} {
+			p := route.MustParsePrefix(pfxText)
+			env := spvp.Environment{}
+			for _, e := range net.Externals {
+				if r.Intn(2) == 0 {
+					env[e] = []route.Route{{
+						Prefix:      p,
+						ASPath:      []uint32{net.ExternalAS[e]},
+						Communities: route.CommunitySet{},
+						LocalPref:   route.DefaultLocalPref,
+					}}
+				}
+			}
+			sync := spvp.Run(net, p, env)
+			if !sync.Converged {
+				continue
+			}
+			for seed := int64(0); seed < 5; seed++ {
+				sim := New(net, p, env, seed)
+				if !sim.Run(20000) {
+					t.Fatalf("trial %d seed %d: no convergence\n%s", trial, seed, text)
+				}
+				for _, v := range net.Internals {
+					if !ribsMatch(sim.Best(v), sync.Best[v]) {
+						t.Fatalf("trial %d seed %d router %s: async %v != sync %v\nconfig:\n%s",
+							trial, seed, v, sim.Best(v), sync.Best[v], text)
+					}
+				}
+			}
+		}
+	}
+}

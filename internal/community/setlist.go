@@ -1,0 +1,138 @@
+package community
+
+import (
+	"sort"
+)
+
+// SetList is the paper's explicit encoding of a symbolic community list: a
+// set of concrete community lists, each abstracted to the set of atoms it
+// intersects and packed into a 64-bit mask (the encoding therefore supports
+// up to 64 atoms, which covers every dataset in the evaluation).
+//
+// It exists to reproduce the Figure 7a comparison between the explicit
+// ("atomic predicate") representation and the BDD-based Space encoding; the
+// two are semantically interchangeable.
+type SetList struct {
+	// masks holds the member lists, sorted ascending, deduplicated. Bit i
+	// set means the concrete list contains a community of atom i.
+	masks []uint64
+}
+
+// AllSetList returns the symbolic list of all concrete lists (2^CA).
+func AllSetList(atomCount int) SetList {
+	if atomCount > 64 {
+		panic("community: SetList supports at most 64 atoms")
+	}
+	n := 1 << atomCount
+	masks := make([]uint64, n)
+	for i := range masks {
+		masks[i] = uint64(i)
+	}
+	return SetList{masks: masks}
+}
+
+// EmptySetList returns the symbolic list containing only the empty list.
+func EmptySetList() SetList { return SetList{masks: []uint64{0}} }
+
+// normalize sorts and dedupes in place.
+func normalize(masks []uint64) []uint64 {
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	out := masks[:0]
+	var prev uint64
+	first := true
+	for _, m := range masks {
+		if first || m != prev {
+			out = append(out, m)
+			prev = m
+			first = false
+		}
+	}
+	return out
+}
+
+// Size returns the number of member lists.
+func (s SetList) Size() int { return len(s.masks) }
+
+// IsEmpty reports whether no concrete list is represented.
+func (s SetList) IsEmpty() bool { return len(s.masks) == 0 }
+
+// Add applies "add community" of a community in atom to every member.
+func (s SetList) Add(atom int) SetList {
+	masks := make([]uint64, len(s.masks))
+	for i, m := range s.masks {
+		masks[i] = m | 1<<atom
+	}
+	return SetList{masks: normalize(masks)}
+}
+
+// Delete applies "delete community" of the given atoms to every member.
+func (s SetList) Delete(atoms []int) SetList {
+	var clear uint64
+	for _, a := range atoms {
+		clear |= 1 << a
+	}
+	masks := make([]uint64, len(s.masks))
+	for i, m := range s.masks {
+		masks[i] = m &^ clear
+	}
+	return SetList{masks: normalize(masks)}
+}
+
+// MatchAny restricts to members containing at least one of the atoms
+// (if-match community).
+func (s SetList) MatchAny(atoms []int) SetList {
+	var test uint64
+	for _, a := range atoms {
+		test |= 1 << a
+	}
+	var masks []uint64
+	for _, m := range s.masks {
+		if m&test != 0 {
+			masks = append(masks, m)
+		}
+	}
+	return SetList{masks: masks}
+}
+
+// MatchNone restricts to members containing none of the atoms (the
+// complement split of MatchAny).
+func (s SetList) MatchNone(atoms []int) SetList {
+	var test uint64
+	for _, a := range atoms {
+		test |= 1 << a
+	}
+	var masks []uint64
+	for _, m := range s.masks {
+		if m&test == 0 {
+			masks = append(masks, m)
+		}
+	}
+	return SetList{masks: masks}
+}
+
+// Union merges two symbolic lists.
+func (s SetList) Union(t SetList) SetList {
+	masks := make([]uint64, 0, len(s.masks)+len(t.masks))
+	masks = append(masks, s.masks...)
+	masks = append(masks, t.masks...)
+	return SetList{masks: normalize(masks)}
+}
+
+// ContainsMask reports whether the abstracted list mask is a member.
+func (s SetList) ContainsMask(mask uint64) bool {
+	i := sort.Search(len(s.masks), func(i int) bool { return s.masks[i] >= mask })
+	return i < len(s.masks) && s.masks[i] == mask
+}
+
+// Equal reports whether two symbolic lists have the same members.
+func (s SetList) Equal(t SetList) bool {
+	if len(s.masks) != len(t.masks) {
+		return false
+	}
+	for i := range s.masks {
+		if s.masks[i] != t.masks[i] {
+			return false
+		}
+	}
+	return true
+}

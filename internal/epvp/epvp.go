@@ -1,0 +1,421 @@
+// Package epvp implements the Expresso Path Vector Protocol (§4 of the
+// paper): a symbolic variant of SPVP that computes, in one fixed point, the
+// best routes of every router for every prefix under every external-route
+// environment.
+//
+// EPVP operates on symbolic routes (internal/symbolic): external neighbors
+// are initialized with wildcard routes carrying their advertiser variable,
+// route policies are the compiled guarded transfers of Algorithm 2, and the
+// merge drops preference-dominated (prefix, environment) pairs.
+package epvp
+
+import (
+	"sort"
+
+	"github.com/expresso-verify/expresso/internal/automaton"
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/community"
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/symbolic"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+// Mode selects which protocol features are modeled symbolically, matching
+// the feature levels of Figure 6c ("t", "t+c", "t+c+a") and the Expresso-
+// variant of §7.2 (SymbolicASPaths=false).
+type Mode struct {
+	// TrafficPolicies applies route policies. When false, every policy is
+	// treated as permit-all (the "none" level).
+	TrafficPolicies bool
+	// SymbolicCommunities models communities with atom predicates.
+	SymbolicCommunities bool
+	// SymbolicASPaths models AS paths as automata; false is Expresso-.
+	SymbolicASPaths bool
+}
+
+// FullMode enables every feature (the paper's default Expresso).
+func FullMode() Mode {
+	return Mode{TrafficPolicies: true, SymbolicCommunities: true, SymbolicASPaths: true}
+}
+
+// Engine runs EPVP over a network.
+type Engine struct {
+	Net   *topology.Network
+	Space *symbolic.Space
+	Comm  *community.Space
+	Mode  Mode
+
+	ctx       symbolic.CompileContext
+	permitAll *symbolic.Transfer
+	transfers map[transferKey]*symbolic.Transfer
+	edgeMemo  map[string][]*symbolic.Route
+}
+
+type transferKey struct {
+	device string
+	policy string
+}
+
+// Result is the converged symbolic routing state.
+type Result struct {
+	// Best maps internal routers to their symbolic RIBs.
+	Best map[string][]*symbolic.Route
+	// ExternalRIB maps external neighbors to the symbolic routes the
+	// network exports to them.
+	ExternalRIB map[string][]*symbolic.Route
+	// Converged is false if the iteration cap was reached.
+	Converged bool
+	// Iterations counts the synchronous rounds executed.
+	Iterations int
+}
+
+// New builds an engine: it allocates the symbolic spaces, computes
+// community atoms, and compiles every referenced policy.
+func New(net *topology.Network, mode Mode) *Engine {
+	devices := make([]*config.Device, 0, len(net.Internals))
+	for _, name := range net.Internals {
+		devices = append(devices, net.Devices[name])
+	}
+	atoms := community.ComputeAtoms(devices)
+	e := &Engine{
+		Net:       net,
+		Space:     symbolic.NewSpace(len(net.Externals)),
+		Comm:      community.NewSpace(atoms),
+		Mode:      mode,
+		transfers: map[transferKey]*symbolic.Transfer{},
+		edgeMemo:  map[string][]*symbolic.Route{},
+	}
+	e.ctx = symbolic.CompileContext{
+		Space:               e.Space,
+		Comm:                e.Comm,
+		SymbolicCommunities: mode.SymbolicCommunities,
+		SymbolicASPaths:     mode.SymbolicASPaths,
+	}
+	e.permitAll = symbolic.CompilePolicy(e.ctx, nil)
+	for _, name := range net.Internals {
+		d := net.Devices[name]
+		for _, p := range d.Peers {
+			for _, polName := range []string{p.Import, p.Export} {
+				if polName == "" {
+					continue
+				}
+				k := transferKey{name, polName}
+				if _, done := e.transfers[k]; !done {
+					e.transfers[k] = symbolic.CompilePolicy(e.ctx, d.Policies[polName])
+				}
+			}
+		}
+	}
+	return e
+}
+
+// Ctx exposes the compile context (spaces and feature flags).
+func (e *Engine) Ctx() symbolic.CompileContext { return e.ctx }
+
+func (e *Engine) transfer(device, policy string) *symbolic.Transfer {
+	if policy == "" || !e.Mode.TrafficPolicies {
+		return e.permitAll
+	}
+	return e.transfers[transferKey{device, policy}]
+}
+
+// originated builds the locally injected symbolic route of a device, per
+// the paper's initialization: U is the union of its originated prefixes
+// with a True environment.
+func (e *Engine) originated(d *config.Device) *symbolic.Route {
+	var prefixes []route.Prefix
+	prefixes = append(prefixes, d.Networks...)
+	if d.RedistributeConnected {
+		for _, itf := range d.Interfaces {
+			prefixes = append(prefixes, itf.Prefix)
+		}
+	}
+	if d.RedistributeStatic {
+		for _, s := range d.Statics {
+			prefixes = append(prefixes, s.Prefix)
+		}
+	}
+	if len(prefixes) == 0 {
+		return nil
+	}
+	r := &symbolic.Route{
+		U:          e.Space.PrefixesBDD(prefixes),
+		Comm:       e.Comm.EmptyList(),
+		LocalPref:  route.DefaultLocalPref,
+		Originator: d.Name,
+		Path:       []string{d.Name},
+	}
+	if e.Mode.SymbolicASPaths {
+		r.ASPath = automaton.EmptyWord()
+	}
+	r.SyncASLen()
+	return r
+}
+
+// externalInit builds the wildcard symbolic route of external neighbor i:
+// U = Valid ∧ n_i, community list 2^CA, and AS path "<as>.*" — an arbitrary
+// path whose first hop is the neighbor's AS, per BGP's enforce-first-as
+// (and matching the "100.*" routes of the paper's Figure 4 walkthrough).
+func (e *Engine) externalInit(name string) *symbolic.Route {
+	i := e.Net.ExternalIndex[name]
+	r := &symbolic.Route{
+		U:          e.Space.M.And(e.Space.Valid(), e.Space.M.Var(e.Space.NbrVar(i))),
+		Comm:       e.Comm.All(),
+		LocalPref:  route.DefaultLocalPref,
+		Originator: name,
+		Path:       []string{name},
+		ASLen:      1, // representative length in concrete mode
+	}
+	if e.Mode.SymbolicASPaths {
+		first := automaton.FromWord([]automaton.Symbol{automaton.Symbol(e.Net.ExternalAS[name])})
+		r.ASPath = first.Concat(automaton.AnyString())
+		r.SyncASLen()
+	}
+	return r
+}
+
+// defaultOriginated is the default route injected on advertise-default
+// sessions.
+func (e *Engine) defaultOriginated(from string) *symbolic.Route {
+	r := &symbolic.Route{
+		U:          e.Space.PrefixBDD(route.Prefix{}),
+		Comm:       e.Comm.EmptyList(),
+		LocalPref:  route.DefaultLocalPref,
+		Originator: from,
+		Path:       []string{from},
+	}
+	if e.Mode.SymbolicASPaths {
+		r.ASPath = automaton.EmptyWord()
+	}
+	r.SyncASLen()
+	return r
+}
+
+// export computes the symbolic routes u advertises to v for route r,
+// applying session semantics and the export policy (may split r).
+func (e *Engine) export(u, v string, r *symbolic.Route) []*symbolic.Route {
+	du := e.Net.Devices[u]
+	su := e.Net.Session(u, v)
+	if du == nil || su == nil {
+		return nil
+	}
+	if su.AdvertiseDefault {
+		return nil // only the default route, injected separately
+	}
+	if r.OnPath(v) {
+		return nil
+	}
+	from := r.LearnedFrom()
+	toIBGP := e.Net.IsIBGP(u, v)
+	if from != "" && e.Net.IsInternal(from) && e.Net.IsIBGP(u, from) && toIBGP {
+		sessFrom := e.Net.Session(u, from)
+		fromClient := sessFrom != nil && sessFrom.ReflectClient
+		toClient := su.ReflectClient
+		if !fromClient && !toClient {
+			return nil
+		}
+	}
+	outs := e.transfer(u, su.Export).Apply(e.ctx, r)
+	for _, o := range outs {
+		if !su.AdvertiseCommunity {
+			o.Comm = e.Comm.EmptyList()
+		}
+		if !toIBGP {
+			symbolic.Prepend(o, du.AS)
+			o.LocalPref = route.DefaultLocalPref
+		}
+	}
+	return outs
+}
+
+// importAt applies v's import processing for symbolic routes received from
+// u (may split them further).
+func (e *Engine) importAt(v, u string, rs []*symbolic.Route) []*symbolic.Route {
+	dv := e.Net.Devices[v]
+	sv := e.Net.Session(v, u)
+	if dv == nil || sv == nil {
+		return nil
+	}
+	fromEBGP := !e.Net.IsIBGP(v, u)
+	var out []*symbolic.Route
+	for _, r := range rs {
+		if r.OnPath(v) {
+			continue
+		}
+		if fromEBGP {
+			r = r.Clone()
+			if !symbolic.RemoveASLoops(r, dv.AS) {
+				continue
+			}
+		}
+		for _, ir := range e.transfer(v, sv.Import).Apply(e.ctx, r) {
+			ir.FromEBGP = fromEBGP
+			ir.NextHop = u
+			ir.Originator = r.Originator
+			ir.Path = append(append([]string(nil), r.Path...), v)
+			out = append(out, ir)
+		}
+	}
+	return out
+}
+
+// ImportCandidates returns the symbolic routes router v would accept from
+// external neighbor ext (the wildcard advertisement filtered through v's
+// import processing), regardless of best-route selection. Used by the
+// EgressPreference analysis to compute route availability.
+func (e *Engine) ImportCandidates(v, ext string) []*symbolic.Route {
+	if !e.Net.IsExternal(ext) {
+		return nil
+	}
+	return e.importAt(v, ext, []*symbolic.Route{e.externalInit(ext)})
+}
+
+// edgeTransfer computes (and memoizes across fixed-point rounds) the routes
+// v accepts when u advertises r: importAt(v, u, export(u, v, r)). Transfers
+// are pure functions of (u, v, r), and most RIB entries persist between
+// rounds, so the memo removes the bulk of repeated work. Cached routes are
+// shared and must be treated as immutable by callers (Merge clones before
+// mutating).
+func (e *Engine) edgeTransfer(u, v string, r *symbolic.Route) []*symbolic.Route {
+	key := u + "|" + v + "|" + r.Key()
+	if out, ok := e.edgeMemo[key]; ok {
+		return out
+	}
+	out := e.importAt(v, u, e.export(u, v, r))
+	e.edgeMemo[key] = out
+	return out
+}
+
+// Run executes EPVP to its fixed point.
+func (e *Engine) Run() *Result {
+	best := map[string][]*symbolic.Route{}
+	for _, name := range e.Net.Internals {
+		var init []*symbolic.Route
+		if r := e.originated(e.Net.Devices[name]); r != nil {
+			init = append(init, r)
+		}
+		best[name] = symbolic.Merge(e.Space, init)
+	}
+	extInit := map[string]*symbolic.Route{}
+	for _, name := range e.Net.Externals {
+		extInit[name] = e.externalInit(name)
+	}
+
+	res := &Result{
+		Best:        map[string][]*symbolic.Route{},
+		ExternalRIB: map[string][]*symbolic.Route{},
+	}
+	// Synchronous rounds with change tracking: a router recomputes only
+	// when some neighbor's RIB changed in the previous round, which lets
+	// late rounds touch only the frontier still in motion.
+	maxIter := 4*len(e.Net.Internals) + 16
+	changedLast := map[string]bool{}
+	for _, v := range e.Net.Internals {
+		changedLast[v] = true
+	}
+	ribKeys := map[string]string{}
+	for v, rs := range best {
+		ribKeys[v] = symbolic.RIBKey(rs)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		next := map[string][]*symbolic.Route{}
+		changedNow := map[string]bool{}
+		for _, v := range e.Net.Internals {
+			needs := iter == 0
+			if !needs {
+				for _, u := range e.Net.Neighbors(v) {
+					if changedLast[u] {
+						needs = true
+						break
+					}
+				}
+			}
+			if !needs {
+				next[v] = best[v]
+				continue
+			}
+			var candidates []*symbolic.Route
+			if r := e.originated(e.Net.Devices[v]); r != nil {
+				candidates = append(candidates, r)
+			}
+			for _, u := range e.Net.Neighbors(v) {
+				if e.Net.IsInternal(u) {
+					for _, r := range best[u] {
+						candidates = append(candidates, e.edgeTransfer(u, v, r)...)
+					}
+					su := e.Net.Session(u, v)
+					if su != nil && su.AdvertiseDefault {
+						candidates = append(candidates,
+							e.importAt(v, u, []*symbolic.Route{e.defaultOriginated(u)})...)
+					}
+				} else {
+					candidates = append(candidates,
+						e.importAt(v, u, []*symbolic.Route{extInit[u]})...)
+				}
+			}
+			next[v] = symbolic.Merge(e.Space, candidates)
+			if k := symbolic.RIBKey(next[v]); k != ribKeys[v] {
+				ribKeys[v] = k
+				changedNow[v] = true
+			}
+		}
+		best = next
+		changedLast = changedNow
+		if len(changedNow) == 0 {
+			res.Converged = true
+			break
+		}
+		// Bound the ITE memo between rounds on very large runs; the node
+		// table itself is retained, so handles stay valid.
+		if e.Space.M.CacheSize() > 64<<20 {
+			e.Space.M.ClearCaches()
+		}
+	}
+	res.Best = best
+
+	// Routes exported to each external neighbor (their received RIB).
+	for _, ext := range e.Net.Externals {
+		var recv []*symbolic.Route
+		for _, u := range e.Net.Neighbors(ext) {
+			for _, r := range best[u] {
+				for _, er := range e.export(u, ext, r) {
+					er.Path = append(append([]string(nil), r.Path...), ext)
+					recv = append(recv, er)
+				}
+			}
+			su := e.Net.Session(u, ext)
+			if su != nil && su.AdvertiseDefault {
+				def := e.defaultOriginated(u)
+				def.Path = []string{u, ext}
+				recv = append(recv, def)
+			}
+		}
+		// Externals do not run a decision process; they receive everything.
+		// Drop empties and sort for determinism.
+		kept := recv[:0]
+		for _, r := range recv {
+			if r.U != bdd.False {
+				kept = append(kept, r)
+			}
+		}
+		res.ExternalRIB[ext] = sortStable(kept)
+	}
+	return res
+}
+
+func sortStable(rs []*symbolic.Route) []*symbolic.Route {
+	keys := make([]string, len(rs))
+	idx := make([]int, len(rs))
+	for i, r := range rs {
+		keys[i] = r.Key()
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]*symbolic.Route, len(rs))
+	for i, j := range idx {
+		out[i] = rs[j]
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package epvp
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func TestImportCandidates(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	e := New(net, FullMode())
+	cands := e.ImportCandidates("PR1", "ISP1")
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1 (im1's single permit class)", len(cands))
+	}
+	c := cands[0]
+	if c.LocalPref != 200 {
+		t.Errorf("candidate local-pref = %d, want 200", c.LocalPref)
+	}
+	// Candidates from a non-neighbor or internal node are empty.
+	if got := e.ImportCandidates("PR1", "ISP2"); len(got) != 0 {
+		t.Errorf("PR1 has no session with ISP2, got %d candidates", len(got))
+	}
+	if got := e.ImportCandidates("PR1", "PR2"); len(got) != 0 {
+		t.Errorf("internal peers are not external candidates, got %d", len(got))
+	}
+}
+
+func TestDenyAllImportYieldsNoRoutes(t *testing.T) {
+	text := `
+router R
+bgp as 100
+route-policy none deny node 10
+bgp peer ISP AS 200 import none
+`
+	net := mustNet(t, text)
+	e := New(net, FullMode())
+	res := e.Run()
+	if len(res.Best["R"]) != 0 {
+		t.Errorf("deny-all import should leave the RIB empty, got %d routes", len(res.Best["R"]))
+	}
+}
+
+func TestMultiHomedExternalNeighbor(t *testing.T) {
+	// One external peering with two routers: its advertiser variable is
+	// shared, so under n=1 both routers hold a route, and the merge keeps
+	// the eBGP copies at both.
+	text := `
+router R1
+bgp as 100
+route-policy all permit node 10
+bgp peer X AS 200 import all export all
+bgp peer R2 AS 100
+
+router R2
+bgp as 100
+route-policy all permit node 10
+bgp peer X AS 200 import all export all
+bgp peer R1 AS 100
+`
+	net := mustNet(t, text)
+	if len(net.Externals) != 1 {
+		t.Fatalf("externals = %v, want just X", net.Externals)
+	}
+	e := New(net, FullMode())
+	res := e.Run()
+	for _, r := range []string{"R1", "R2"} {
+		ms := materialized(e, res.Best[r], route.MustParsePrefix("20.0.0.0/8"), envAssign(e, "X"))
+		if len(ms) != 1 || ms[0].NextHop != "X" {
+			t.Errorf("%s should use its own eBGP session to X, got %v", r, ms)
+		}
+	}
+}
+
+func TestPrefixListSplitsAdvertisementSpace(t *testing.T) {
+	// An import permitting two disjoint prefix classes with different
+	// local preferences yields two symbolic routes whose prefix parts are
+	// disjoint.
+	text := `
+router R
+bgp as 100
+route-policy im permit node 10
+ if-match prefix 10.0.0.0/8
+ set local-preference 300
+route-policy im permit node 20
+ if-match prefix 20.0.0.0/8
+bgp peer ISP AS 200 import im
+`
+	net := mustNet(t, text)
+	e := New(net, FullMode())
+	res := e.Run()
+	rib := res.Best["R"]
+	if len(rib) != 2 {
+		t.Fatalf("RIB size = %d, want 2 classes", len(rib))
+	}
+	inter := e.Space.M.And(e.Space.PrefixPart(rib[0].U), e.Space.PrefixPart(rib[1].U))
+	if inter != bdd.False {
+		t.Error("behavior classes should cover disjoint prefixes")
+	}
+	lps := map[uint32]bool{rib[0].LocalPref: true, rib[1].LocalPref: true}
+	if !lps[300] || !lps[100] {
+		t.Errorf("local-prefs = %v, want {300,100}", lps)
+	}
+}
+
+func TestEngineCtxExposesSpaces(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	e := New(net, FullMode())
+	ctx := e.Ctx()
+	if ctx.Space != e.Space || ctx.Comm != e.Comm {
+		t.Error("Ctx should expose the engine's spaces")
+	}
+	if !ctx.SymbolicCommunities || !ctx.SymbolicASPaths {
+		t.Error("FullMode flags should propagate into the context")
+	}
+}

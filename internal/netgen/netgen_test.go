@@ -1,0 +1,117 @@
+package netgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+func parseAndBuild(t *testing.T, text string) *topology.Network {
+	t.Helper()
+	devices, err := config.ParseConfigs(text)
+	if err != nil {
+		t.Fatalf("generated config does not parse: %v", err)
+	}
+	net, err := topology.Build(devices)
+	if err != nil {
+		t.Fatalf("generated config does not build: %v", err)
+	}
+	return net
+}
+
+func TestCSPRegionsParseAndMatchScale(t *testing.T) {
+	for i := 1; i <= 4; i++ {
+		spec := CSPOldRegion(i)
+		net := parseAndBuild(t, CSP(spec))
+		s := net.Statistics()
+		if s.Nodes != spec.Backbones+spec.PeeringRouters {
+			t.Errorf("region%d nodes = %d, want %d", i, s.Nodes, spec.Backbones+spec.PeeringRouters)
+		}
+		if s.Peers != spec.Peers {
+			t.Errorf("region%d peers = %d, want %d", i, s.Peers, spec.Peers)
+		}
+		// Prefixes: network statements + loopback interfaces.
+		if s.Prefixes < spec.Prefixes {
+			t.Errorf("region%d prefixes = %d, want >= %d", i, s.Prefixes, spec.Prefixes)
+		}
+		if s.ConfigLines < spec.CustomerPrefixLines/2 {
+			t.Errorf("region%d config lines = %d, too few", i, s.ConfigLines)
+		}
+		t.Logf("region%d: %+v", i, s)
+	}
+}
+
+func TestCSPDeterministic(t *testing.T) {
+	a := CSP(CSPOldRegion(1))
+	b := CSP(CSPOldRegion(1))
+	if a != b {
+		t.Fatal("generation must be deterministic")
+	}
+}
+
+func TestWithPeers(t *testing.T) {
+	spec := CSPOldFull().WithPeers(10)
+	if spec.Peers != 10 {
+		t.Fatal("WithPeers did not restrict")
+	}
+	net := parseAndBuild(t, CSP(spec))
+	if len(net.Externals) != 10 {
+		t.Fatalf("externals = %d, want 10", len(net.Externals))
+	}
+	// Restricting beyond the spec is a no-op.
+	if CSPOldRegion(1).WithPeers(99).Peers != 10 {
+		t.Error("WithPeers should not grow the peer count")
+	}
+}
+
+func TestLeakBugPresent(t *testing.T) {
+	spec := CSPOldFull()
+	text := CSP(spec)
+	// Some reflect-client session must lack advertise-community.
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "reflect-client") && !strings.Contains(line, "advertise-community") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("leak bug (missing advertise-community) not injected")
+	}
+	// Hijack bug: a permit node 3 with local-preference 200.
+	if !strings.Contains(text, "permit node 3") {
+		t.Error("hijack bug not injected")
+	}
+	// Traffic bug: extraffic policies referenced.
+	if !strings.Contains(text, "export extraffic") {
+		t.Error("traffic bug not injected")
+	}
+}
+
+func TestInternet2ParsesAtReducedScale(t *testing.T) {
+	spec := Internet2()
+	spec.Prefixes = 1000 // keep the unit test fast
+	spec.Peers = 30
+	net := parseAndBuild(t, GenerateI2(spec))
+	s := net.Statistics()
+	if s.Nodes != 10 || s.Peers != 30 {
+		t.Errorf("stats = %+v", s)
+	}
+	// The BTE bug: some peer session exports exbad.
+	if !strings.Contains(GenerateI2(spec), "export exbad") {
+		t.Error("missing BTE filter not injected")
+	}
+}
+
+func TestInternet2FullScaleParses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in short mode")
+	}
+	net := parseAndBuild(t, GenerateI2(Internet2()))
+	s := net.Statistics()
+	if s.Peers != 300 || s.Prefixes < 32000 {
+		t.Errorf("Internet2 stats = %+v", s)
+	}
+	t.Logf("Internet2: %+v", s)
+}

@@ -1,0 +1,325 @@
+// Package properties implements Expresso's property analysis (§6 of the
+// paper): routing properties checked against symbolic RIBs
+// (RouteLeakFree, RouteHijackFree, BlockToExternal) and forwarding
+// properties checked against PECs (TrafficHijackFree, BlackHoleFree,
+// LoopFree, EgressPreference).
+package properties
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/spf"
+)
+
+// Kind names a property.
+type Kind string
+
+// Supported properties.
+const (
+	RouteLeakFree     Kind = "RouteLeakFree"
+	RouteHijackFree   Kind = "RouteHijackFree"
+	TrafficHijackFree Kind = "TrafficHijackFree"
+	BlackHoleFree     Kind = "BlackHoleFree"
+	LoopFree          Kind = "LoopFree"
+	BlockToExternal   Kind = "BlockToExternal"
+	EgressPreference  Kind = "EgressPreference"
+)
+
+// Violation is one property violation with its witness.
+type Violation struct {
+	Kind Kind
+	// Node is where the violation manifests (the receiving external
+	// neighbor, the internal router, or the PEC start).
+	Node string
+	// Detail is a human-readable description.
+	Detail string
+	// Cond is the advertiser condition under which the violation occurs
+	// (control-plane variables for routing properties, data-plane variables
+	// for forwarding properties). Conditions of merged duplicate findings
+	// are unioned.
+	Cond bdd.Node
+	// Prefix is a witness prefix when one is known.
+	Prefix route.Prefix
+	// Path is the propagation or forwarding path of the witness.
+	Path []string
+	// Originators lists the external neighbors whose routes can trigger
+	// the violation (aggregated across merged findings).
+	Originators []string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %s: %s (path %s)", v.Kind, v.Node, v.Detail, strings.Join(v.Path, " -> "))
+}
+
+// CheckRouteLeak verifies RouteLeakFree (§6.1): no external neighbor may
+// receive a route originated by another external neighbor.
+func CheckRouteLeak(eng *epvp.Engine, cp *epvp.Result) []Violation {
+	var out []Violation
+	for _, ext := range eng.Net.Externals {
+		for _, r := range cp.ExternalRIB[ext] {
+			if r.Originator == ext || eng.Net.IsInternal(r.Originator) {
+				continue
+			}
+			witness := route.Prefix{}
+			if assign := eng.Space.M.AnySat(r.U); assign != nil {
+				witness = eng.Space.DecodePrefix(assign)
+			}
+			out = append(out, Violation{
+				Kind:        RouteLeakFree,
+				Node:        ext,
+				Detail:      fmt.Sprintf("externally originated routes leaked to %s", ext),
+				Cond:        eng.Space.Cond(r.U),
+				Prefix:      witness,
+				Path:        r.Path,
+				Originators: []string{r.Originator},
+			})
+		}
+	}
+	return dedupe(out)
+}
+
+// CheckRouteHijack verifies RouteHijackFree (§6.1): no externally
+// originated route may be selected as best for an internal prefix.
+func CheckRouteHijack(eng *epvp.Engine, cp *epvp.Result) []Violation {
+	internal := eng.Net.InternalPrefixes()
+	// Union of all internal prefixes, to discard non-overlapping routes
+	// with a single conjunction before the per-prefix scan.
+	union := eng.Space.PrefixesBDD(internal)
+	var out []Violation
+	for _, v := range eng.Net.Internals {
+		for _, r := range cp.Best[v] {
+			if eng.Net.IsInternal(r.Originator) {
+				continue
+			}
+			if eng.Space.M.And(r.U, union) == bdd.False {
+				continue
+			}
+			for _, d := range internal {
+				overlap := eng.Space.M.And(r.U, eng.Space.PrefixBDD(d))
+				if overlap == bdd.False {
+					continue
+				}
+				out = append(out, Violation{
+					Kind: RouteHijackFree,
+					Node: v,
+					Detail: fmt.Sprintf("an external route can become best for internal prefix %s at %s",
+						d, v),
+					Cond:        eng.Space.Cond(overlap),
+					Prefix:      d,
+					Path:        r.Path,
+					Originators: []string{r.Originator},
+				})
+			}
+		}
+	}
+	return dedupe(out)
+}
+
+// CheckBlockToExternal verifies Bagpipe's BlockToExternal property (§6.3):
+// routes carrying the given community must never be exported to an
+// external neighbor.
+func CheckBlockToExternal(eng *epvp.Engine, cp *epvp.Result, bte route.Community) []Violation {
+	atom := eng.Comm.Atoms.AtomOf(bte)
+	hasBTE := eng.Comm.M.Var(atom)
+	var out []Violation
+	for _, ext := range eng.Net.Externals {
+		for _, r := range cp.ExternalRIB[ext] {
+			if eng.Comm.M.And(r.Comm, hasBTE) == bdd.False {
+				continue
+			}
+			witness := route.Prefix{}
+			if assign := eng.Space.M.AnySat(r.U); assign != nil {
+				witness = eng.Space.DecodePrefix(assign)
+			}
+			out = append(out, Violation{
+				Kind:   BlockToExternal,
+				Node:   ext,
+				Detail: fmt.Sprintf("route carrying %s exported to %s", bte, ext),
+				Cond:   eng.Space.Cond(r.U),
+				Prefix: witness,
+				Path:   r.Path,
+			})
+		}
+	}
+	return dedupe(out)
+}
+
+// CheckTrafficHijack verifies TrafficHijackFree (§6.2): traffic destined to
+// internal prefixes, observed at an internal router, must not exit to an
+// external neighbor.
+func CheckTrafficHijack(eng *epvp.Engine, dp *spf.Result) []Violation {
+	internalDest := internalDestPredicate(eng, dp)
+	var out []Violation
+	for _, pec := range dp.PECs {
+		if pec.Final != spf.Exit {
+			continue
+		}
+		if !eng.Net.IsInternal(pec.Start()) {
+			continue
+		}
+		overlap := eng.Space.M.And(pec.Pkt, internalDest)
+		if overlap == bdd.False {
+			continue
+		}
+		out = append(out, Violation{
+			Kind: TrafficHijackFree,
+			Node: pec.Start(),
+			Detail: fmt.Sprintf("traffic to internal prefixes can exit to %s",
+				pec.Path[len(pec.Path)-1]),
+			Cond: dp.CondOfPkt(overlap),
+			Path: pec.Path,
+		})
+	}
+	return dedupe(out)
+}
+
+// CheckBlackHole verifies BlackHoleFree for traffic to the destinations in
+// dests (a predicate over destination-address variables; use
+// InternalDestPredicate for the internal prefixes, or bdd.True for all
+// traffic): no matching PEC may end in BLACKHOLE.
+func CheckBlackHole(eng *epvp.Engine, dp *spf.Result, dests bdd.Node) []Violation {
+	var out []Violation
+	for _, pec := range dp.PECs {
+		if pec.Final != spf.BlackHole {
+			continue
+		}
+		overlap := eng.Space.M.And(pec.Pkt, dests)
+		if overlap == bdd.False {
+			continue
+		}
+		out = append(out, Violation{
+			Kind:   BlackHoleFree,
+			Node:   pec.Path[len(pec.Path)-1],
+			Detail: fmt.Sprintf("traffic to checked destinations dropped at %s", pec.Path[len(pec.Path)-1]),
+			Cond:   dp.CondOfPkt(overlap),
+			Path:   pec.Path,
+		})
+	}
+	return dedupe(out)
+}
+
+// CheckLoop verifies LoopFree: no PEC may end in LOOP.
+func CheckLoop(eng *epvp.Engine, dp *spf.Result) []Violation {
+	var out []Violation
+	for _, pec := range dp.PECs {
+		if pec.Final != spf.Loop {
+			continue
+		}
+		out = append(out, Violation{
+			Kind:   LoopFree,
+			Node:   pec.Start(),
+			Detail: "forwarding loop",
+			Cond:   dp.CondOfPkt(pec.Pkt),
+			Path:   pec.Path,
+		})
+	}
+	return dedupe(out)
+}
+
+// CheckEgressPreference verifies the §6.3 EgressPreference property: for
+// traffic from router u to destination prefix d, the egress neighbor must
+// follow the given preference order — no less-preferred egress may carry
+// the traffic under an environment where a more-preferred neighbor is
+// advertising. order lists neighbors most-preferred first.
+func CheckEgressPreference(eng *epvp.Engine, dp *spf.Result, u string, d route.Prefix, order []string) []Violation {
+	dest := dp.DestPredicate(d)
+	conds := make([]bdd.Node, len(order))  // egress actually used
+	avails := make([]bdd.Node, len(order)) // neighbor advertises something
+	for i, egress := range order {
+		c := bdd.False
+		for _, pec := range dp.PECsFrom(u, egress) {
+			if pec.Final != spf.Exit {
+				continue
+			}
+			if overlap := eng.Space.M.And(pec.Pkt, dest); overlap != bdd.False {
+				c = eng.Space.M.Or(c, dp.CondOfPkt(overlap))
+			}
+		}
+		conds[i] = c
+		avails[i] = dp.AvailPredicate(egress, d)
+	}
+	var out []Violation
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			bad := eng.Space.M.And(avails[i], conds[j])
+			if bad == bdd.False {
+				continue
+			}
+			out = append(out, Violation{
+				Kind: EgressPreference,
+				Node: u,
+				Detail: fmt.Sprintf("traffic from %s to %s can use egress %s while preferred egress %s is available",
+					u, d, order[j], order[i]),
+				Cond:   bad,
+				Prefix: d,
+				Path:   []string{u, order[j]},
+			})
+		}
+	}
+	return dedupe(out)
+}
+
+// InternalDestPredicate is the union of destination predicates of every
+// internal prefix.
+func InternalDestPredicate(eng *epvp.Engine, dp *spf.Result) bdd.Node {
+	return internalDestPredicate(eng, dp)
+}
+
+// internalDestPredicate is the union of destination predicates of every
+// internal prefix.
+func internalDestPredicate(eng *epvp.Engine, dp *spf.Result) bdd.Node {
+	n := bdd.False
+	for _, p := range eng.Net.InternalPrefixes() {
+		n = eng.Space.M.Or(n, dp.DestPredicate(p))
+	}
+	return n
+}
+
+// dedupe merges duplicate violations (same kind, node, detail) — unioning
+// their witness conditions and originator lists — and sorts the result
+// deterministically.
+func dedupe(vs []Violation) []Violation {
+	seen := map[string]int{}
+	out := vs[:0]
+	for _, v := range vs {
+		k := string(v.Kind) + "|" + v.Node + "|" + v.Detail
+		if i, ok := seen[k]; ok {
+			prev := &out[i]
+			prev.Originators = mergeNames(prev.Originators, v.Originators)
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+func mergeNames(a, b []string) []string {
+	set := map[string]bool{}
+	for _, s := range a {
+		set[s] = true
+	}
+	for _, s := range b {
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,346 @@
+// Package route defines the concrete routing model shared by every engine
+// in the repository: IPv4 prefixes, BGP communities, concrete BGP routes,
+// and the BGP decision process (the preference relation ρ of the paper's
+// routing algebra, §4.1).
+package route
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 prefix: the high Len bits of Addr are significant, the
+// rest must be zero.
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// ParsePrefix parses dotted-quad/len notation, e.g. "10.1.0.0/16".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("route: prefix %q missing /len", s)
+	}
+	addr, err := parseIPv4(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	l, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil || l > 32 {
+		return Prefix{}, fmt.Errorf("route: bad prefix length in %q", s)
+	}
+	p := Prefix{Addr: addr & MaskOf(uint8(l)), Len: uint8(l)}
+	return p, nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error, for literals.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("route: bad IPv4 address %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("route: bad IPv4 address %q", s)
+		}
+		addr = addr<<8 | uint32(v)
+	}
+	return addr, nil
+}
+
+// ParseIPv4 parses a dotted-quad address.
+func ParseIPv4(s string) (uint32, error) { return parseIPv4(s) }
+
+// MustParseIPv4 is ParseIPv4 that panics on error.
+func MustParseIPv4(s string) uint32 {
+	a, err := parseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MaskOf returns the network mask for a prefix length.
+func MaskOf(l uint8) uint32 {
+	if l == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - l)
+}
+
+// Contains reports whether q is a (non-strict) sub-prefix of p.
+func (p Prefix) Contains(q Prefix) bool {
+	return q.Len >= p.Len && q.Addr&MaskOf(p.Len) == p.Addr
+}
+
+// MatchesIP reports whether ip falls inside p.
+func (p Prefix) MatchesIP(ip uint32) bool {
+	return ip&MaskOf(p.Len) == p.Addr
+}
+
+// String renders dotted-quad/len.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		p.Addr>>24, p.Addr>>16&0xff, p.Addr>>8&0xff, p.Addr&0xff, p.Len)
+}
+
+// Community is a standard BGP community encoded as high:low 16-bit halves.
+type Community uint32
+
+// ParseCommunity parses "300:100".
+func ParseCommunity(s string) (Community, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return 0, fmt.Errorf("route: community %q missing colon", s)
+	}
+	hi, err := strconv.ParseUint(s[:colon], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("route: bad community %q", s)
+	}
+	lo, err := strconv.ParseUint(s[colon+1:], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("route: bad community %q", s)
+	}
+	return Community(hi<<16 | lo), nil
+}
+
+// MustParseCommunity is ParseCommunity that panics on error.
+func MustParseCommunity(s string) Community {
+	c, err := ParseCommunity(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String renders high:low.
+func (c Community) String() string {
+	return fmt.Sprintf("%d:%d", uint32(c)>>16, uint32(c)&0xffff)
+}
+
+// CommunitySet is a set of communities.
+type CommunitySet map[Community]bool
+
+// NewCommunitySet builds a set from its members.
+func NewCommunitySet(cs ...Community) CommunitySet {
+	s := make(CommunitySet, len(cs))
+	for _, c := range cs {
+		s[c] = true
+	}
+	return s
+}
+
+// Clone returns a copy of the set.
+func (s CommunitySet) Clone() CommunitySet {
+	out := make(CommunitySet, len(s))
+	for c := range s {
+		out[c] = true
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s CommunitySet) Equal(t CommunitySet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for c := range s {
+		if !t[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the sorted member list.
+func (s CommunitySet) String() string {
+	members := make([]string, 0, len(s))
+	for c := range s {
+		members = append(members, c.String())
+	}
+	sort.Strings(members)
+	return "{" + strings.Join(members, ",") + "}"
+}
+
+// Origin is the BGP origin attribute. Lower is preferred.
+type Origin uint8
+
+// Origin values in preference order.
+const (
+	OriginIGP Origin = iota
+	OriginEGP
+	OriginIncomplete
+)
+
+// Protocol identifies how a FIB entry was learned; lower admin distance
+// wins during FIB construction.
+type Protocol uint8
+
+// Protocols in admin-distance order.
+const (
+	ProtoConnected Protocol = iota
+	ProtoStatic
+	ProtoBGP
+)
+
+// AdminDistance returns the administrative distance used for FIB selection.
+func (p Protocol) AdminDistance() int {
+	switch p {
+	case ProtoConnected:
+		return 0
+	case ProtoStatic:
+		return 1
+	default:
+		return 20
+	}
+}
+
+// Route is a concrete BGP route as computed by SPVP: prefix plus signature.
+type Route struct {
+	Prefix      Prefix
+	ASPath      []uint32
+	Communities CommunitySet
+	LocalPref   uint32
+	MED         uint32
+	Origin      Origin
+	// NextHop is the neighboring router the traffic is forwarded to.
+	NextHop string
+	// Originator is the first hop of the propagation path (the external
+	// neighbor or internal router that injected the route). §3.2.
+	Originator string
+	// Path is the router-level propagation path, most recent hop last.
+	Path []string
+	// FromEBGP records whether the last hop was an eBGP session (eBGP routes
+	// are preferred over iBGP ones in the decision process).
+	FromEBGP bool
+}
+
+// DefaultLocalPref is the local preference assigned when no policy sets one.
+const DefaultLocalPref = 100
+
+// Clone deep-copies the route.
+func (r Route) Clone() Route {
+	out := r
+	out.ASPath = append([]uint32(nil), r.ASPath...)
+	out.Communities = r.Communities.Clone()
+	out.Path = append([]string(nil), r.Path...)
+	return out
+}
+
+// HasASLoop reports whether as appears in the AS path.
+func (r Route) HasASLoop(as uint32) bool {
+	for _, a := range r.ASPath {
+		if a == as {
+			return true
+		}
+	}
+	return false
+}
+
+// OnPath reports whether router appears on the propagation path.
+func (r Route) OnPath(router string) bool {
+	for _, h := range r.Path {
+		if h == router {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the route for diagnostics.
+func (r Route) String() string {
+	pathStrs := make([]string, len(r.ASPath))
+	for i, a := range r.ASPath {
+		pathStrs[i] = strconv.FormatUint(uint64(a), 10)
+	}
+	return fmt.Sprintf("%s asPath=[%s] comm=%s lp=%d med=%d nh=%s orig=%s",
+		r.Prefix, strings.Join(pathStrs, " "), r.Communities, r.LocalPref, r.MED, r.NextHop, r.Originator)
+}
+
+// Compare implements the BGP decision process over route signatures: it
+// returns >0 if a is preferred over b, <0 if b is preferred, and 0 if they
+// tie on every deterministic step (ECMP candidates). It must only be used
+// for routes to the same prefix.
+func Compare(a, b Route) int {
+	// 1. Higher local preference.
+	if a.LocalPref != b.LocalPref {
+		if a.LocalPref > b.LocalPref {
+			return 1
+		}
+		return -1
+	}
+	// 2. Shorter AS path.
+	if len(a.ASPath) != len(b.ASPath) {
+		if len(a.ASPath) < len(b.ASPath) {
+			return 1
+		}
+		return -1
+	}
+	// 3. Lower origin.
+	if a.Origin != b.Origin {
+		if a.Origin < b.Origin {
+			return 1
+		}
+		return -1
+	}
+	// 4. Lower MED.
+	if a.MED != b.MED {
+		if a.MED < b.MED {
+			return 1
+		}
+		return -1
+	}
+	// 5. eBGP over iBGP.
+	if a.FromEBGP != b.FromEBGP {
+		if a.FromEBGP {
+			return 1
+		}
+		return -1
+	}
+	// 6. Deterministic tie-breaking (standing in for oldest-route /
+	// router-id): shorter propagation path, then lexicographic next hop and
+	// originator. Matches the symbolic engine's ordering so differential
+	// tests compare like with like.
+	if len(a.Path) != len(b.Path) {
+		if len(a.Path) < len(b.Path) {
+			return 1
+		}
+		return -1
+	}
+	if a.NextHop != b.NextHop {
+		if a.NextHop < b.NextHop {
+			return 1
+		}
+		return -1
+	}
+	if a.Originator != b.Originator {
+		if a.Originator < b.Originator {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// TieBreak deterministically orders routes that Compare considers equal, by
+// originator then next hop (a stand-in for router-id comparison). Returns
+// true if a wins.
+func TieBreak(a, b Route) bool {
+	if a.Originator != b.Originator {
+		return a.Originator < b.Originator
+	}
+	return a.NextHop < b.NextHop
+}

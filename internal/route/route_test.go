@@ -1,0 +1,213 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefix(t *testing.T) {
+	cases := []struct {
+		in   string
+		addr uint32
+		len  uint8
+	}{
+		{"10.1.0.0/16", 0x0a010000, 16},
+		{"0.0.0.0/0", 0, 0},
+		{"255.255.255.255/32", 0xffffffff, 32},
+		{"128.0.0.0/2", 0x80000000, 2},
+		{"10.1.0.77/16", 0x0a010000, 16}, // host bits zeroed
+	}
+	for _, c := range cases {
+		p, err := ParsePrefix(c.in)
+		if err != nil {
+			t.Errorf("ParsePrefix(%q): %v", c.in, err)
+			continue
+		}
+		if p.Addr != c.addr || p.Len != c.len {
+			t.Errorf("ParsePrefix(%q) = %v/%d, want %#x/%d", c.in, p.Addr, p.Len, c.addr, c.len)
+		}
+	}
+	for _, bad := range []string{"10.1.0.0", "10.1.0.0/33", "10.1.0/16", "300.0.0.0/8", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPrefixStringRoundTrip(t *testing.T) {
+	check := func(addr uint32, l uint8) bool {
+		l %= 33
+		p := Prefix{Addr: addr & MaskOf(l), Len: l}
+		q, err := ParsePrefix(p.String())
+		return err == nil && q == p
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	p16 := MustParsePrefix("10.1.0.0/16")
+	p24 := MustParsePrefix("10.1.2.0/24")
+	other := MustParsePrefix("10.2.0.0/16")
+	if !p16.Contains(p24) {
+		t.Error("/16 should contain its /24")
+	}
+	if p24.Contains(p16) {
+		t.Error("/24 should not contain its /16")
+	}
+	if !p16.Contains(p16) {
+		t.Error("Contains should be reflexive")
+	}
+	if p16.Contains(other) {
+		t.Error("disjoint prefixes should not contain each other")
+	}
+	def := MustParsePrefix("0.0.0.0/0")
+	if !def.Contains(p24) {
+		t.Error("default should contain everything")
+	}
+}
+
+func TestMatchesIP(t *testing.T) {
+	p := MustParsePrefix("10.1.0.0/16")
+	if !p.MatchesIP(MustParseIPv4("10.1.2.3")) {
+		t.Error("10.1.2.3 should match 10.1.0.0/16")
+	}
+	if p.MatchesIP(MustParseIPv4("10.2.0.0")) {
+		t.Error("10.2.0.0 should not match 10.1.0.0/16")
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	c, err := ParseCommunity("300:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "300:100" {
+		t.Errorf("String = %q", c.String())
+	}
+	if uint32(c) != 300<<16|100 {
+		t.Errorf("encoding wrong: %#x", uint32(c))
+	}
+	for _, bad := range []string{"300", "300:", ":100", "70000:1", "300:70000"} {
+		if _, err := ParseCommunity(bad); err == nil {
+			t.Errorf("ParseCommunity(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCommunitySet(t *testing.T) {
+	s := NewCommunitySet(MustParseCommunity("300:100"), MustParseCommunity("1:2"))
+	u := s.Clone()
+	if !s.Equal(u) {
+		t.Error("clone should be equal")
+	}
+	u[MustParseCommunity("9:9")] = true
+	if s.Equal(u) {
+		t.Error("sets of different size compared equal")
+	}
+	if s.String() != "{1:2,300:100}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestCompareDecisionProcess(t *testing.T) {
+	base := Route{LocalPref: 100, ASPath: []uint32{1, 2}, Origin: OriginIGP, MED: 10}
+	hiLP := base
+	hiLP.LocalPref = 200
+	if Compare(hiLP, base) != 1 || Compare(base, hiLP) != -1 {
+		t.Error("higher local-pref must win")
+	}
+	shortPath := base
+	shortPath.ASPath = []uint32{1}
+	if Compare(shortPath, base) != 1 {
+		t.Error("shorter AS path must win")
+	}
+	lowOrigin := base
+	worse := base
+	worse.Origin = OriginIncomplete
+	if Compare(lowOrigin, worse) != 1 {
+		t.Error("lower origin must win")
+	}
+	lowMED := base
+	lowMED.MED = 5
+	if Compare(lowMED, base) != 1 {
+		t.Error("lower MED must win")
+	}
+	ebgp := base
+	ebgp.FromEBGP = true
+	if Compare(ebgp, base) != 1 {
+		t.Error("eBGP must beat iBGP")
+	}
+	if Compare(base, base) != 0 {
+		t.Error("identical routes must tie")
+	}
+	// Local-pref dominates AS-path length.
+	longButPreferred := base
+	longButPreferred.LocalPref = 300
+	longButPreferred.ASPath = []uint32{1, 2, 3, 4}
+	if Compare(longButPreferred, base) != 1 {
+		t.Error("local-pref must dominate path length")
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	check := func(lp1, lp2 uint32, n1, n2 uint8, med1, med2 uint32, e1, e2 bool) bool {
+		a := Route{LocalPref: lp1, ASPath: make([]uint32, n1%8), MED: med1, FromEBGP: e1}
+		b := Route{LocalPref: lp2, ASPath: make([]uint32, n2%8), MED: med2, FromEBGP: e2}
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteClone(t *testing.T) {
+	r := Route{
+		Prefix:      MustParsePrefix("10.0.0.0/8"),
+		ASPath:      []uint32{1, 2},
+		Communities: NewCommunitySet(MustParseCommunity("1:1")),
+		Path:        []string{"a", "b"},
+	}
+	c := r.Clone()
+	c.ASPath[0] = 99
+	c.Communities[MustParseCommunity("2:2")] = true
+	c.Path[0] = "x"
+	if r.ASPath[0] != 1 || len(r.Communities) != 1 || r.Path[0] != "a" {
+		t.Error("Clone must deep-copy")
+	}
+}
+
+func TestHasASLoopAndOnPath(t *testing.T) {
+	r := Route{ASPath: []uint32{100, 200}, Path: []string{"a", "b"}}
+	if !r.HasASLoop(100) || r.HasASLoop(300) {
+		t.Error("HasASLoop misbehaves")
+	}
+	if !r.OnPath("a") || r.OnPath("z") {
+		t.Error("OnPath misbehaves")
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	a := Route{Originator: "A", NextHop: "x"}
+	b := Route{Originator: "B", NextHop: "x"}
+	if !TieBreak(a, b) || TieBreak(b, a) {
+		t.Error("TieBreak should order by originator")
+	}
+	c := Route{Originator: "A", NextHop: "y"}
+	if !TieBreak(a, c) {
+		t.Error("TieBreak should fall back to next hop")
+	}
+}
+
+func TestMaskOf(t *testing.T) {
+	if MaskOf(0) != 0 {
+		t.Error("MaskOf(0) should be 0")
+	}
+	if MaskOf(32) != ^uint32(0) {
+		t.Error("MaskOf(32) should be all-ones")
+	}
+	if MaskOf(16) != 0xffff0000 {
+		t.Errorf("MaskOf(16) = %#x", MaskOf(16))
+	}
+}

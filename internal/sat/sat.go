@@ -1,0 +1,423 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver: two-watched-literal propagation, VSIDS-style activity ordering,
+// first-UIP conflict analysis, and Luby restarts.
+//
+// It is the "off-the-shelf solver" substrate of the Minesweeper* baseline
+// (the paper compares Expresso against SMT-based verification; this solver
+// plus the bit-blasting layer in internal/smt stands in for Z3).
+package sat
+
+import (
+	"errors"
+	"time"
+)
+
+// Lit is a literal: variable v has positive literal 2v and negative 2v+1.
+type Lit int32
+
+// NewLit builds a literal from a variable index and sign.
+func NewLit(v int, negative bool) Lit {
+	l := Lit(v * 2)
+	if negative {
+		l++
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l) >> 1 }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses  []*clause
+	watches  [][]*clause // literal -> watching clauses
+	assign   []lbool     // variable -> value
+	level    []int32     // variable -> decision level
+	reason   []*clause   // variable -> implying clause
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    []int // lazily sorted decision candidates
+	polarity []bool
+
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+
+	// Budget limits; zero means unlimited.
+	ConflictBudget int64
+	Deadline       time.Time
+
+	unsat bool
+}
+
+// ErrBudget is returned when the solver exhausts its conflict budget or
+// deadline before reaching an answer.
+var ErrBudget = errors.New("sat: budget exhausted")
+
+// New creates an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1}
+}
+
+// NewVar adds a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.watches = append(s.watches, nil, nil)
+	return v
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of problem clauses added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// AddClause adds a clause over the given literals. Returns false if the
+// solver is already unsatisfiable at level 0.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause after Solve started")
+	}
+	// Simplify: dedupe, drop false literals, detect tautologies/satisfied.
+	seen := map[Lit]bool{}
+	var out []Lit
+	for _, l := range lits {
+		if seen[l] {
+			continue
+		}
+		if seen[l.Not()] {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		seen[l] = true
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsat = true
+			return false
+		}
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], c)
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(len(s.trailLim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if conflict != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			// Normalize: watched literal being falsified at position 1.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				conflict = c
+			}
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learned := []Lit{0} // slot 0 for the asserting literal
+	seen := make([]bool, len(s.assign))
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	c := conflict
+	curLevel := len(s.trailLim)
+	for {
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == curLevel {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Find the next literal on the trail at the current level.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		c = s.reason[p.Var()]
+		seen[p.Var()] = false
+		counter--
+		idx--
+		if counter == 0 {
+			break
+		}
+	}
+	learned[0] = p.Not()
+	// Backjump level: max level among the other literals.
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) > back {
+			back = int(s.level[learned[i].Var()])
+		}
+	}
+	// Move a literal of the backjump level into watch position 1.
+	for i := 1; i < len(learned); i++ {
+		if int(s.level[learned[i].Var()]) == back {
+			learned[1], learned[i] = learned[i], learned[1]
+			break
+		}
+	}
+	return learned, back
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if len(s.trailLim) <= level {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[level]; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:s.trailLim[level]]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) decide() bool {
+	best, bestAct := -1, -1.0
+	for v := 0; v < len(s.assign); v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	s.Decisions++
+	s.trailLim = append(s.trailLim, len(s.trail))
+	s.enqueue(NewLit(best, !s.polarity[best]), nil)
+	return true
+}
+
+// luby computes the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i >= 1<<(k-1) && i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment. It returns (true, model) when
+// satisfiable, (false, nil) when unsatisfiable, and an error when the
+// conflict budget or deadline runs out.
+func (s *Solver) Solve() (bool, []bool, error) {
+	if s.unsat {
+		return false, nil, nil
+	}
+	if c := s.propagate(); c != nil {
+		s.unsat = true
+		return false, nil, nil
+	}
+	var restarts int64
+	for {
+		restarts++
+		budget := 100 * luby(restarts)
+		res, err := s.search(budget)
+		if err != nil {
+			return false, nil, err
+		}
+		switch res {
+		case lTrue:
+			model := make([]bool, len(s.assign))
+			for v := range s.assign {
+				model[v] = s.assign[v] == lTrue
+			}
+			s.cancelUntil(0)
+			return true, model, nil
+		case lFalse:
+			return false, nil, nil
+		}
+		// Restart.
+		s.cancelUntil(0)
+	}
+}
+
+func (s *Solver) search(budget int64) (lbool, error) {
+	var conflicts int64
+	for {
+		if conflict := s.propagate(); conflict != nil {
+			conflicts++
+			s.Conflicts++
+			if s.ConflictBudget > 0 && s.Conflicts > s.ConflictBudget {
+				return lUndef, ErrBudget
+			}
+			if !s.Deadline.IsZero() && s.Conflicts%256 == 0 && time.Now().After(s.Deadline) {
+				return lUndef, ErrBudget
+			}
+			if len(s.trailLim) == 0 {
+				s.unsat = true
+				return lFalse, nil
+			}
+			learned, back := s.analyze(conflict)
+			s.cancelUntil(back)
+			if len(learned) == 1 {
+				s.enqueue(learned[0], nil)
+			} else {
+				c := &clause{lits: learned, learned: true}
+				s.attach(c)
+				s.clauses = append(s.clauses, c)
+				s.enqueue(learned[0], c)
+			}
+			s.varInc /= 0.95
+			if conflicts >= budget {
+				return lUndef, nil // restart
+			}
+			continue
+		}
+		if !s.decide() {
+			return lTrue, nil
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func lit(v int) Lit  { return NewLit(v, false) }
+func nlit(v int) Lit { return NewLit(v, true) }
+
+func TestLitBasics(t *testing.T) {
+	l := NewLit(3, false)
+	if l.Var() != 3 || l.Neg() {
+		t.Error("positive literal malformed")
+	}
+	n := l.Not()
+	if n.Var() != 3 || !n.Neg() {
+		t.Error("negation malformed")
+	}
+	if n.Not() != l {
+		t.Error("double negation")
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	ok, model, err := s.Solve()
+	if err != nil || !ok || !model[a] {
+		t.Fatalf("ok=%v model=%v err=%v", ok, model, err)
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(lit(a))
+	if !s.AddClause(nlit(a)) {
+		// AddClause may already detect it.
+		return
+	}
+	ok, _, err := s.Solve()
+	if err != nil || ok {
+		t.Fatalf("expected unsat, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	s := New()
+	n := 50
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(nlit(vars[i]), lit(vars[i+1]))
+	}
+	s.AddClause(lit(vars[0]))
+	ok, model, err := s.Solve()
+	if err != nil || !ok {
+		t.Fatal("chain should be sat")
+	}
+	for i := range vars {
+		if !model[vars[i]] {
+			t.Fatalf("var %d should be true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons, 3 holes — unsatisfiable, requires real search.
+	s := New()
+	const pigeons, holes = 4, 3
+	x := [pigeons][holes]int{}
+	for p := 0; p < pigeons; p++ {
+		for h := 0; h < holes; h++ {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := []Lit{}
+		for h := 0; h < holes; h++ {
+			cl = append(cl, lit(x[p][h]))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(nlit(x[p1][h]), nlit(x[p2][h]))
+			}
+		}
+	}
+	ok, _, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("pigeonhole 4/3 must be unsat")
+	}
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		nv := 8
+		nc := 4 + r.Intn(40)
+		clauses := make([][]Lit, nc)
+		for i := range clauses {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = NewLit(r.Intn(nv), r.Intn(2) == 0)
+			}
+			clauses[i] = cl
+		}
+		// Brute force.
+		bruteSat := false
+		for bits := 0; bits < 1<<nv && !bruteSat; bits++ {
+			all := true
+			for _, cl := range clauses {
+				any := false
+				for _, l := range cl {
+					val := bits&(1<<l.Var()) != 0
+					if val != l.Neg() {
+						any = true
+						break
+					}
+				}
+				if !any {
+					all = false
+					break
+				}
+			}
+			bruteSat = all
+		}
+		// Solver.
+		s := New()
+		for v := 0; v < nv; v++ {
+			s.NewVar()
+		}
+		for _, cl := range clauses {
+			s.AddClause(cl...)
+		}
+		ok, model, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != bruteSat {
+			t.Fatalf("trial %d: solver=%v brute=%v", trial, ok, bruteSat)
+		}
+		if ok {
+			// Model must satisfy all clauses.
+			for _, cl := range clauses {
+				any := false
+				for _, l := range cl {
+					if model[l.Var()] != l.Neg() {
+						any = true
+					}
+				}
+				if !any {
+					t.Fatalf("trial %d: model does not satisfy clause", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard instance with a tiny budget must return ErrBudget.
+	s := New()
+	const pigeons, holes = 8, 7
+	x := [pigeons][holes]int{}
+	for p := 0; p < pigeons; p++ {
+		for h := 0; h < holes; h++ {
+			x[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := []Lit{}
+		for h := 0; h < holes; h++ {
+			cl = append(cl, lit(x[p][h]))
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(nlit(x[p1][h]), nlit(x[p2][h]))
+			}
+		}
+	}
+	s.ConflictBudget = 10
+	_, _, err := s.Solve()
+	if err != ErrBudget {
+		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	if !s.AddClause(lit(a), nlit(a)) {
+		t.Error("tautology should be accepted (trivially true)")
+	}
+	if !s.AddClause(lit(b), lit(b), lit(b)) {
+		t.Error("duplicate literals should simplify")
+	}
+	ok, model, err := s.Solve()
+	if err != nil || !ok || !model[b] {
+		t.Error("b must be forced true")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Error("empty clause must report unsat")
+	}
+	ok, _, _ := s.Solve()
+	if ok {
+		t.Error("solver must stay unsat")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(lit(a), lit(b))
+	s.AddClause(nlit(a), lit(c))
+	s.AddClause(nlit(b), nlit(c))
+	ok, _, err := s.Solve()
+	if err != nil || !ok {
+		t.Fatal("should be sat")
+	}
+	if s.Propagations == 0 && s.Decisions == 0 {
+		t.Error("statistics should be populated")
+	}
+}

@@ -1,0 +1,212 @@
+// Package smt is a small bit-vector SMT layer bit-blasted onto the CDCL
+// solver in internal/sat: boolean formulas (Tseitin encoding) and
+// fixed-width unsigned bit-vectors with equality, comparison, if-then-else,
+// and increment. It provides exactly the fragment the Minesweeper* baseline
+// encoding needs (QF_BV without multiplication).
+package smt
+
+import (
+	"fmt"
+
+	"github.com/expresso-verify/expresso/internal/sat"
+)
+
+// Ctx wraps a SAT solver with constant literals and gate caching.
+type Ctx struct {
+	S *sat.Solver
+
+	trueLit sat.Lit
+	andMemo map[[2]sat.Lit]sat.Lit
+}
+
+// NewCtx creates a context over a fresh solver.
+func NewCtx() *Ctx {
+	c := &Ctx{S: sat.New(), andMemo: map[[2]sat.Lit]sat.Lit{}}
+	v := c.S.NewVar()
+	c.trueLit = sat.NewLit(v, false)
+	c.S.AddClause(c.trueLit)
+	return c
+}
+
+// True and False return the constant literals.
+func (c *Ctx) True() sat.Lit  { return c.trueLit }
+func (c *Ctx) False() sat.Lit { return c.trueLit.Not() }
+
+// NewBool allocates a fresh boolean variable.
+func (c *Ctx) NewBool() sat.Lit { return sat.NewLit(c.S.NewVar(), false) }
+
+// Lit re-exports the literal constructor for callers.
+func (c *Ctx) Lit(v int, neg bool) sat.Lit { return sat.NewLit(v, neg) }
+
+// Assert requires l to be true.
+func (c *Ctx) Assert(l sat.Lit) { c.S.AddClause(l) }
+
+// And returns a literal equivalent to a AND b (Tseitin, memoized).
+func (c *Ctx) And(a, b sat.Lit) sat.Lit {
+	switch {
+	case a == c.False() || b == c.False():
+		return c.False()
+	case a == c.True():
+		return b
+	case b == c.True():
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return c.False()
+	}
+	if b < a {
+		a, b = b, a
+	}
+	key := [2]sat.Lit{a, b}
+	if g, ok := c.andMemo[key]; ok {
+		return g
+	}
+	g := c.NewBool()
+	c.S.AddClause(g.Not(), a)
+	c.S.AddClause(g.Not(), b)
+	c.S.AddClause(g, a.Not(), b.Not())
+	c.andMemo[key] = g
+	return g
+}
+
+// Or returns a literal equivalent to a OR b.
+func (c *Ctx) Or(a, b sat.Lit) sat.Lit { return c.And(a.Not(), b.Not()).Not() }
+
+// AndN folds And over the arguments (True for none).
+func (c *Ctx) AndN(ls ...sat.Lit) sat.Lit {
+	g := c.True()
+	for _, l := range ls {
+		g = c.And(g, l)
+	}
+	return g
+}
+
+// OrN folds Or over the arguments (False for none).
+func (c *Ctx) OrN(ls ...sat.Lit) sat.Lit {
+	g := c.False()
+	for _, l := range ls {
+		g = c.Or(g, l)
+	}
+	return g
+}
+
+// Implies returns a -> b.
+func (c *Ctx) Implies(a, b sat.Lit) sat.Lit { return c.Or(a.Not(), b) }
+
+// Iff returns a <-> b.
+func (c *Ctx) Iff(a, b sat.Lit) sat.Lit {
+	return c.And(c.Implies(a, b), c.Implies(b, a))
+}
+
+// MuxBool returns sel ? a : b.
+func (c *Ctx) MuxBool(sel, a, b sat.Lit) sat.Lit {
+	return c.Or(c.And(sel, a), c.And(sel.Not(), b))
+}
+
+// BV is an unsigned bit-vector, most significant bit first.
+type BV []sat.Lit
+
+// NewBV allocates a fresh bit-vector of the given width.
+func (c *Ctx) NewBV(width int) BV {
+	bv := make(BV, width)
+	for i := range bv {
+		bv[i] = c.NewBool()
+	}
+	return bv
+}
+
+// ConstBV encodes a constant of the given width.
+func (c *Ctx) ConstBV(value uint64, width int) BV {
+	bv := make(BV, width)
+	for i := 0; i < width; i++ {
+		if value&(1<<(width-1-i)) != 0 {
+			bv[i] = c.True()
+		} else {
+			bv[i] = c.False()
+		}
+	}
+	return bv
+}
+
+// EqBV returns the literal "a == b"; widths must match.
+func (c *Ctx) EqBV(a, b BV) sat.Lit {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("smt: width mismatch %d vs %d", len(a), len(b)))
+	}
+	g := c.True()
+	for i := range a {
+		g = c.And(g, c.Iff(a[i], b[i]))
+	}
+	return g
+}
+
+// UltBV returns the literal "a < b" (unsigned).
+func (c *Ctx) UltBV(a, b BV) sat.Lit {
+	if len(a) != len(b) {
+		panic("smt: width mismatch")
+	}
+	// From MSB down: lt = (¬a_i ∧ b_i) ∨ (a_i↔b_i ∧ lt_rest).
+	lt := c.False()
+	for i := len(a) - 1; i >= 0; i-- {
+		lt = c.Or(c.And(a[i].Not(), b[i]), c.And(c.Iff(a[i], b[i]), lt))
+	}
+	return lt
+}
+
+// UleBV returns "a <= b".
+func (c *Ctx) UleBV(a, b BV) sat.Lit { return c.UltBV(b, a).Not() }
+
+// UgtBV returns "a > b".
+func (c *Ctx) UgtBV(a, b BV) sat.Lit { return c.UltBV(b, a) }
+
+// MuxBV returns sel ? a : b, bitwise.
+func (c *Ctx) MuxBV(sel sat.Lit, a, b BV) BV {
+	if len(a) != len(b) {
+		panic("smt: width mismatch")
+	}
+	out := make(BV, len(a))
+	for i := range a {
+		out[i] = c.MuxBool(sel, a[i], b[i])
+	}
+	return out
+}
+
+// IncBV returns a+1 (wrapping).
+func (c *Ctx) IncBV(a BV) BV {
+	out := make(BV, len(a))
+	carry := c.True()
+	for i := len(a) - 1; i >= 0; i-- {
+		out[i] = c.Or(c.And(a[i], carry.Not()), c.And(a[i].Not(), carry))
+		carry = c.And(a[i], carry)
+	}
+	return out
+}
+
+// AssertEqBV requires a == b.
+func (c *Ctx) AssertEqBV(a, b BV) { c.Assert(c.EqBV(a, b)) }
+
+// ValueBV decodes a bit-vector from a model.
+func ValueBV(model []bool, bv BV) uint64 {
+	var out uint64
+	for _, l := range bv {
+		out <<= 1
+		bit := model[l.Var()]
+		if l.Neg() {
+			bit = !bit
+		}
+		if bit {
+			out |= 1
+		}
+	}
+	return out
+}
+
+// ValueBool decodes a literal from a model.
+func ValueBool(model []bool, l sat.Lit) bool {
+	bit := model[l.Var()]
+	if l.Neg() {
+		return !bit
+	}
+	return bit
+}

@@ -1,0 +1,189 @@
+package smt
+
+import (
+	"testing"
+)
+
+func solveWith(t *testing.T, c *Ctx) (bool, []bool) {
+	t.Helper()
+	ok, model, err := c.S.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok, model
+}
+
+func TestConstants(t *testing.T) {
+	c := NewCtx()
+	if c.True() == c.False() {
+		t.Fatal("constants must differ")
+	}
+	ok, model := solveWith(t, c)
+	if !ok || !ValueBool(model, c.True()) || ValueBool(model, c.False()) {
+		t.Fatal("constant semantics wrong")
+	}
+}
+
+func TestBooleanGates(t *testing.T) {
+	for bits := 0; bits < 4; bits++ {
+		c := NewCtx()
+		a, b := c.NewBool(), c.NewBool()
+		av, bv := bits&1 != 0, bits&2 != 0
+		if av {
+			c.Assert(a)
+		} else {
+			c.Assert(a.Not())
+		}
+		if bv {
+			c.Assert(b)
+		} else {
+			c.Assert(b.Not())
+		}
+		and, or, imp, iff := c.And(a, b), c.Or(a, b), c.Implies(a, b), c.Iff(a, b)
+		ok, model := solveWith(t, c)
+		if !ok {
+			t.Fatal("should be sat")
+		}
+		if ValueBool(model, and) != (av && bv) {
+			t.Errorf("And(%v,%v)", av, bv)
+		}
+		if ValueBool(model, or) != (av || bv) {
+			t.Errorf("Or(%v,%v)", av, bv)
+		}
+		if ValueBool(model, imp) != (!av || bv) {
+			t.Errorf("Implies(%v,%v)", av, bv)
+		}
+		if ValueBool(model, iff) != (av == bv) {
+			t.Errorf("Iff(%v,%v)", av, bv)
+		}
+	}
+}
+
+func TestAndShortcuts(t *testing.T) {
+	c := NewCtx()
+	a := c.NewBool()
+	if c.And(a, c.True()) != a || c.And(c.True(), a) != a {
+		t.Error("And with True should be identity")
+	}
+	if c.And(a, c.False()) != c.False() {
+		t.Error("And with False should be False")
+	}
+	if c.And(a, a) != a {
+		t.Error("And idempotent")
+	}
+	if c.And(a, a.Not()) != c.False() {
+		t.Error("contradiction should be False")
+	}
+	// Memoization: same gate twice.
+	b := c.NewBool()
+	if c.And(a, b) != c.And(b, a) {
+		t.Error("And should be memoized commutatively")
+	}
+}
+
+func TestBVConstAndEq(t *testing.T) {
+	c := NewCtx()
+	x := c.NewBV(8)
+	c.AssertEqBV(x, c.ConstBV(0xA5, 8))
+	ok, model := solveWith(t, c)
+	if !ok {
+		t.Fatal("should be sat")
+	}
+	if got := ValueBV(model, x); got != 0xA5 {
+		t.Errorf("x = %#x, want 0xA5", got)
+	}
+}
+
+func TestBVComparisons(t *testing.T) {
+	cases := []struct{ a, b uint64 }{{3, 5}, {5, 3}, {7, 7}, {0, 15}, {15, 0}}
+	for _, tc := range cases {
+		c := NewCtx()
+		a := c.ConstBV(tc.a, 4)
+		b := c.ConstBV(tc.b, 4)
+		lt, le, gt := c.UltBV(a, b), c.UleBV(a, b), c.UgtBV(a, b)
+		ok, model := solveWith(t, c)
+		if !ok {
+			t.Fatal("const-only instance must be sat")
+		}
+		if ValueBool(model, lt) != (tc.a < tc.b) {
+			t.Errorf("Ult(%d,%d)", tc.a, tc.b)
+		}
+		if ValueBool(model, le) != (tc.a <= tc.b) {
+			t.Errorf("Ule(%d,%d)", tc.a, tc.b)
+		}
+		if ValueBool(model, gt) != (tc.a > tc.b) {
+			t.Errorf("Ugt(%d,%d)", tc.a, tc.b)
+		}
+	}
+}
+
+func TestBVSolverSearch(t *testing.T) {
+	// Find x with 10 < x < 13 => x in {11, 12}.
+	c := NewCtx()
+	x := c.NewBV(6)
+	c.Assert(c.UgtBV(x, c.ConstBV(10, 6)))
+	c.Assert(c.UltBV(x, c.ConstBV(13, 6)))
+	ok, model := solveWith(t, c)
+	if !ok {
+		t.Fatal("should be sat")
+	}
+	got := ValueBV(model, x)
+	if got != 11 && got != 12 {
+		t.Errorf("x = %d, want 11 or 12", got)
+	}
+}
+
+func TestMux(t *testing.T) {
+	c := NewCtx()
+	sel := c.NewBool()
+	c.Assert(sel)
+	x := c.MuxBV(sel, c.ConstBV(9, 4), c.ConstBV(3, 4))
+	ok, model := solveWith(t, c)
+	if !ok || ValueBV(model, x) != 9 {
+		t.Error("Mux with true selector should pick first arm")
+	}
+
+	c2 := NewCtx()
+	sel2 := c2.NewBool()
+	c2.Assert(sel2.Not())
+	y := c2.MuxBV(sel2, c2.ConstBV(9, 4), c2.ConstBV(3, 4))
+	ok, model = solveWith(t, c2)
+	if !ok || ValueBV(model, y) != 3 {
+		t.Error("Mux with false selector should pick second arm")
+	}
+}
+
+func TestIncBV(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 14, 15} {
+		c := NewCtx()
+		x := c.IncBV(c.ConstBV(v, 4))
+		ok, model := solveWith(t, c)
+		if !ok {
+			t.Fatal("should be sat")
+		}
+		want := (v + 1) & 0xF
+		if got := ValueBV(model, x); got != want {
+			t.Errorf("Inc(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestUnsatBVConstraint(t *testing.T) {
+	c := NewCtx()
+	x := c.NewBV(4)
+	c.Assert(c.UltBV(x, c.ConstBV(0, 4))) // nothing is < 0
+	ok, _, err := c.S.Solve()
+	if err != nil || ok {
+		t.Error("x < 0 must be unsat")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	c := NewCtx()
+	defer func() {
+		if recover() == nil {
+			t.Error("EqBV with mismatched widths should panic")
+		}
+	}()
+	c.EqBV(c.NewBV(4), c.NewBV(5))
+}

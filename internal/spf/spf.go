@@ -1,0 +1,445 @@
+// Package spf implements Expresso's Symbolic Packet Forwarding stage (§5 of
+// the paper): symbolic RIBs are compiled into symbolic FIBs whose advertiser
+// conditions use one variable per (neighbor, prefix length) — capturing
+// longest-prefix-match dependencies — and symbolic packets are pushed
+// through the network to produce packet equivalence classes (PECs).
+package spf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/symbolic"
+)
+
+// FinalState is the terminal state of a symbolic packet (§5.2).
+type FinalState uint8
+
+// Final states.
+const (
+	Arrive FinalState = iota
+	Exit
+	BlackHole
+	Loop
+)
+
+// String renders the state name as the paper prints it.
+func (f FinalState) String() string {
+	switch f {
+	case Arrive:
+		return "ARRIVE"
+	case Exit:
+		return "EXIT"
+	case BlackHole:
+		return "BLACKHOLE"
+	default:
+		return "LOOP"
+	}
+}
+
+// PEC is a packet equivalence class: all packets (destination × data-plane
+// advertiser condition) that follow the same forwarding path to the same
+// final state.
+type PEC struct {
+	// Pkt is the predicate over destination-address variables and
+	// data-plane advertiser variables.
+	Pkt bdd.Node
+	// Path is the node-level forwarding path, starting router first. For
+	// packets injected from an external neighbor, the neighbor is the
+	// first element.
+	Path []string
+	// Final is the packet's terminal state.
+	Final FinalState
+}
+
+// Start returns the first hop of the PEC's path.
+func (p *PEC) Start() string { return p.Path[0] }
+
+// fibEntry is one symbolic forwarding rule.
+type fibEntry struct {
+	length int
+	admin  int // administrative distance: lower wins within a length
+	match  bdd.Node
+	port   string // next-hop node; "" = deliver locally
+}
+
+// FIB is a router's symbolic forwarding state with per-port effective
+// predicates (priority already applied).
+type FIB struct {
+	// PortPred maps a next-hop node to the predicate of packets forwarded
+	// to it.
+	PortPred map[string]bdd.Node
+	// Arrive is the predicate of locally delivered packets.
+	Arrive bdd.Node
+	// BlackHole is the predicate of packets matching no rule.
+	BlackHole bdd.Node
+	// Entries is the number of symbolic FIB rules the router holds.
+	Entries int
+}
+
+// Result is the output of the SPF stage.
+type Result struct {
+	FIBs map[string]*FIB
+	PECs []*PEC
+	// DataVarsPerNeighbor reports how many per-length advertiser variables
+	// each neighbor needed (the §5.1 statistic: ≤32, 8-11 on average in the
+	// paper's datasets).
+	DataVarsPerNeighbor map[string]int
+
+	eng      *epvp.Engine
+	varBase  int
+	varsUsed map[int]bool // data-plane variables actually referenced
+
+	// convCache memoizes RIB-entry conversion by the route's U handle: a
+	// route's prefix-environment set is typically unchanged as it
+	// propagates, so the same U appears in many routers' RIBs.
+	convCache map[bdd.Node][]convEntry
+}
+
+// convEntry is a converted per-length match predicate, port-independent.
+type convEntry struct {
+	length int
+	match  bdd.Node
+}
+
+// Run executes symbolic packet forwarding over an EPVP result.
+func Run(eng *epvp.Engine, cp *epvp.Result) *Result {
+	r := &Result{
+		FIBs:                map[string]*FIB{},
+		DataVarsPerNeighbor: map[string]int{},
+		eng:                 eng,
+		varsUsed:            map[int]bool{},
+		convCache:           map[bdd.Node][]convEntry{},
+	}
+	// Pre-allocate every n_i^l variable in length-major order so that the
+	// variables of different neighbors at the same prefix length are
+	// adjacent in the BDD ordering. FIB predicates union terms of the form
+	// (conditions over same-length variables) across lengths; a
+	// neighbor-major order would make those unions exponential.
+	n := len(eng.Net.Externals)
+	r.varBase = eng.Space.M.AddVars(33 * n)
+	for _, v := range eng.Net.Internals {
+		r.FIBs[v] = r.buildFIB(v, cp.Best[v])
+	}
+	r.forwardAll()
+	for v := range r.varsUsed {
+		i := (v - r.varBase) % n
+		r.DataVarsPerNeighbor[eng.Net.Externals[i]]++
+	}
+	return r
+}
+
+// dataVar returns the data-plane advertiser variable n_i^l for neighbor
+// index i and prefix length l.
+func (r *Result) dataVar(i, l int) int {
+	return r.varBase + l*len(r.eng.Net.Externals) + i
+}
+
+// DataVar exposes the n_i^l variable for property checks and tests.
+func (r *Result) DataVar(neighbor string, length int) int {
+	return r.dataVar(r.eng.Net.ExternalIndex[neighbor], length)
+}
+
+// convertRoute compiles one symbolic RIB entry into per-length FIB entries
+// (§5.1): split U by prefix length, free the host and length bits, and
+// rename each control-plane advertiser variable n_i to n_i^l.
+func (r *Result) convertRoute(sr *symbolic.Route) []fibEntry {
+	conv := r.convertU(sr.U)
+	out := make([]fibEntry, len(conv))
+	for i, c := range conv {
+		out[i] = fibEntry{length: c.length, admin: route.ProtoBGP.AdminDistance(), match: c.match, port: sr.NextHop}
+	}
+	return out
+}
+
+// convertU compiles a prefix-environment set into per-length data-plane
+// match predicates, memoized on the U handle.
+func (r *Result) convertU(u bdd.Node) []convEntry {
+	if cached, ok := r.convCache[u]; ok {
+		return cached
+	}
+	s := r.eng.Space
+	var out []convEntry
+	for _, l := range s.Lengths(u) {
+		// Select length l and drop the host address bits (zero in
+		// canonical form) in one linear restriction pass.
+		values := map[int]bool{}
+		for b := 0; b < symbolic.LenBits; b++ {
+			values[symbolic.AddrBits+b] = l&(1<<(symbolic.LenBits-1-b)) != 0
+		}
+		for b := l; b < symbolic.AddrBits; b++ {
+			values[b] = false
+		}
+		m := s.M.RestrictMany(u, values)
+		if m == bdd.False {
+			continue
+		}
+		// Rename control-plane advertiser variables to per-length ones.
+		// The data-plane variables for one length preserve the neighbor
+		// ordering and sit below every control variable, so the rename is
+		// order-preserving (linear).
+		mapping := map[int]int{}
+		for _, cv := range s.M.Support(m) {
+			if cv >= symbolic.FirstNbrVar && cv < r.varBase {
+				i := cv - symbolic.FirstNbrVar
+				dv := r.dataVar(i, l)
+				mapping[cv] = dv
+				r.varsUsed[dv] = true
+			}
+		}
+		if len(mapping) > 0 {
+			m = s.M.RenameMonotone(m, mapping)
+		}
+		out = append(out, convEntry{length: l, match: m})
+	}
+	r.convCache[u] = out
+	return out
+}
+
+// buildFIB assembles the router's symbolic FIB from its BGP RIB plus static
+// and connected routes, then computes effective per-port predicates under
+// longest-prefix-match and administrative-distance priority.
+func (r *Result) buildFIB(v string, rib []*symbolic.Route) *FIB {
+	s := r.eng.Space
+	d := r.eng.Net.Devices[v]
+	var entries []fibEntry
+	for _, sr := range rib {
+		entries = append(entries, r.convertRoute(sr)...)
+	}
+	for _, st := range d.Statics {
+		entries = append(entries, fibEntry{
+			length: int(st.Prefix.Len),
+			admin:  route.ProtoStatic.AdminDistance(),
+			match:  r.destPredicate(st.Prefix),
+			port:   st.NextHop,
+		})
+	}
+	for _, itf := range d.Interfaces {
+		entries = append(entries, fibEntry{
+			length: int(itf.Prefix.Len),
+			admin:  route.ProtoConnected.AdminDistance(),
+			match:  r.destPredicate(itf.Prefix),
+			port:   "", // deliver locally
+		})
+	}
+	// Priority: longer prefix first; lower admin distance first within a
+	// length. Ties (ECMP) share priority and do not shadow each other.
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].length != entries[j].length {
+			return entries[i].length > entries[j].length
+		}
+		return entries[i].admin < entries[j].admin
+	})
+	fib := &FIB{PortPred: map[string]bdd.Node{}, Arrive: bdd.False, Entries: len(entries)}
+	covered := bdd.False
+	i := 0
+	for i < len(entries) {
+		j := i
+		for j < len(entries) && entries[j].length == entries[i].length && entries[j].admin == entries[i].admin {
+			j++
+		}
+		// Union the group's matches per port first, then subtract the
+		// higher-priority coverage once per port (not once per entry).
+		perPort := map[string]bdd.Node{}
+		var order []string
+		for k := i; k < j; k++ {
+			if _, ok := perPort[entries[k].port]; !ok {
+				order = append(order, entries[k].port)
+			}
+			perPort[entries[k].port] = s.M.Or(perPort[entries[k].port], entries[k].match)
+		}
+		groupUnion := bdd.False
+		for _, port := range order {
+			match := perPort[port]
+			groupUnion = s.M.Or(groupUnion, match)
+			eff := s.M.Diff(match, covered)
+			if eff == bdd.False {
+				continue
+			}
+			if port == "" {
+				fib.Arrive = s.M.Or(fib.Arrive, eff)
+			} else {
+				fib.PortPred[port] = s.M.Or(fib.PortPred[port], eff)
+			}
+		}
+		covered = s.M.Or(covered, groupUnion)
+		i = j
+	}
+	fib.BlackHole = s.M.Not(covered)
+	return fib
+}
+
+// destPredicate is the packet-destination predicate of a concrete prefix:
+// the high Len bits fixed, host bits free.
+func (r *Result) destPredicate(p route.Prefix) bdd.Node {
+	s := r.eng.Space
+	n := bdd.True
+	for b := 0; b < int(p.Len); b++ {
+		if p.Addr&(1<<(31-b)) != 0 {
+			n = s.M.And(n, s.M.Var(b))
+		} else {
+			n = s.M.And(n, s.M.NVar(b))
+		}
+	}
+	return n
+}
+
+// DestPredicate exposes destPredicate for property checks.
+func (r *Result) DestPredicate(p route.Prefix) bdd.Node { return r.destPredicate(p) }
+
+// forwardAll injects a fully symbolic packet at every node (internal and
+// external) and collects PECs. Packets entering from an external neighbor
+// traverse exactly the tree of its first internal hop (the model applies no
+// ingress filtering), so external injections are derived from the internal
+// ones by prepending the neighbor to the path instead of re-exploring.
+func (r *Result) forwardAll() {
+	for _, v := range r.eng.Net.Internals {
+		r.forward(v, bdd.True, []string{v})
+	}
+	r.coalescePECs()
+	byStart := map[string][]*PEC{}
+	for _, pec := range r.PECs {
+		byStart[pec.Start()] = append(byStart[pec.Start()], pec)
+	}
+	for _, e := range r.eng.Net.Externals {
+		for _, u := range r.eng.Net.Neighbors(e) {
+			for _, pec := range byStart[u] {
+				r.PECs = append(r.PECs, &PEC{
+					Pkt:   pec.Pkt,
+					Path:  append([]string{e}, pec.Path...),
+					Final: pec.Final,
+				})
+			}
+		}
+	}
+	// Deterministic order, merge identical (path, final) classes.
+	r.coalescePECs()
+}
+
+func (r *Result) forward(v string, pkt bdd.Node, path []string) {
+	s := r.eng.Space
+	fib := r.FIBs[v]
+	if pkt == bdd.False {
+		return
+	}
+	if p := s.M.And(pkt, fib.Arrive); p != bdd.False {
+		r.PECs = append(r.PECs, &PEC{Pkt: p, Path: append([]string(nil), path...), Final: Arrive})
+	}
+	if p := s.M.And(pkt, fib.BlackHole); p != bdd.False {
+		r.PECs = append(r.PECs, &PEC{Pkt: p, Path: append([]string(nil), path...), Final: BlackHole})
+	}
+	ports := make([]string, 0, len(fib.PortPred))
+	for port := range fib.PortPred {
+		ports = append(ports, port)
+	}
+	sort.Strings(ports)
+	for _, port := range ports {
+		p := s.M.And(pkt, fib.PortPred[port])
+		if p == bdd.False {
+			continue
+		}
+		next := append(append([]string(nil), path...), port)
+		if !r.eng.Net.IsInternal(port) {
+			r.PECs = append(r.PECs, &PEC{Pkt: p, Path: next, Final: Exit})
+			continue
+		}
+		if onPath(path, port) {
+			r.PECs = append(r.PECs, &PEC{Pkt: p, Path: next, Final: Loop})
+			continue
+		}
+		r.forward(port, p, next)
+	}
+}
+
+func onPath(path []string, node string) bool {
+	for _, h := range path {
+		if h == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Result) coalescePECs() {
+	type key struct {
+		path  string
+		final FinalState
+	}
+	merged := map[key]bdd.Node{}
+	var order []key
+	for _, pec := range r.PECs {
+		k := key{strings.Join(pec.Path, ">"), pec.Final}
+		if _, ok := merged[k]; !ok {
+			order = append(order, k)
+		}
+		merged[k] = r.eng.Space.M.Or(merged[k], pec.Pkt)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].path != order[j].path {
+			return order[i].path < order[j].path
+		}
+		return order[i].final < order[j].final
+	})
+	out := make([]*PEC, 0, len(order))
+	for _, k := range order {
+		out = append(out, &PEC{Pkt: merged[k], Path: strings.Split(k.path, ">"), Final: k.final})
+	}
+	r.PECs = out
+}
+
+// PECsFrom returns the PECs whose path starts at node u (the paper's
+// PECs(u)); with to != "", only those ending at to (PECs(u, to)).
+func (r *Result) PECsFrom(u, to string) []*PEC {
+	var out []*PEC
+	for _, p := range r.PECs {
+		if p.Start() != u {
+			continue
+		}
+		if to != "" && p.Path[len(p.Path)-1] != to {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// AvailPredicate returns the data-plane condition under which external
+// neighbor ext has advertised a route, acceptable to some adjacent internal
+// router's import policy, that covers destination prefix dest (either a
+// covering aggregate or a more specific route inside dest). Used as the
+// "preferred egress is available" side of EgressPreference.
+func (r *Result) AvailPredicate(ext string, dest route.Prefix) bdd.Node {
+	s := r.eng.Space
+	destPkt := r.destPredicate(dest)
+	avail := bdd.False
+	for _, u := range r.eng.Net.Neighbors(ext) {
+		for _, cand := range r.eng.ImportCandidates(u, ext) {
+			for _, entry := range r.convertRoute(cand) {
+				if overlap := s.M.And(entry.match, destPkt); overlap != bdd.False {
+					avail = s.M.Or(avail, r.CondOfPkt(overlap))
+				}
+			}
+		}
+	}
+	return avail
+}
+
+// CondOfPkt extracts the data-plane advertiser condition from a packet
+// predicate by quantifying out the destination-address bits (the paper's
+// Cond() applied to PECs).
+func (r *Result) CondOfPkt(pkt bdd.Node) bdd.Node {
+	vars := make([]int, symbolic.AddrBits)
+	for i := range vars {
+		vars[i] = i
+	}
+	return r.eng.Space.M.Exists(pkt, vars...)
+}
+
+// String renders a PEC like the paper: (predicate, [path], STATE).
+func (p *PEC) String() string {
+	return fmt.Sprintf("(pkt#%d, [%s], %s)", p.Pkt, strings.Join(p.Path, " "), p.Final)
+}

@@ -1,0 +1,103 @@
+package spf
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func TestFinalStateStrings(t *testing.T) {
+	cases := map[FinalState]string{
+		Arrive:    "ARRIVE",
+		Exit:      "EXIT",
+		BlackHole: "BLACKHOLE",
+		Loop:      "LOOP",
+	}
+	for fs, want := range cases {
+		if fs.String() != want {
+			t.Errorf("%d.String() = %q, want %q", fs, fs.String(), want)
+		}
+	}
+}
+
+func TestPECsFromFiltering(t *testing.T) {
+	eng, _, dp := runPipeline(t, testnet.Figure4)
+	all := dp.PECsFrom("PR1", "")
+	if len(all) == 0 {
+		t.Fatal("no PECs from PR1")
+	}
+	toISP1 := dp.PECsFrom("PR1", "ISP1")
+	for _, p := range toISP1 {
+		if p.Path[len(p.Path)-1] != "ISP1" {
+			t.Errorf("PECsFrom(PR1, ISP1) returned %v", p.Path)
+		}
+	}
+	if len(toISP1) >= len(all) {
+		t.Error("destination filter should narrow the set")
+	}
+	_ = eng
+}
+
+func TestAvailPredicate(t *testing.T) {
+	eng, _, dp := runPipeline(t, testnet.Figure4)
+	d := route.MustParsePrefix("128.0.0.0/2")
+	// ISP1's availability for the /2: its import-permitted advertisement
+	// at length 2.
+	avail := dp.AvailPredicate("ISP1", d)
+	if avail == bdd.False {
+		t.Fatal("ISP1 can cover 128.0.0.0/2")
+	}
+	// It must depend only on ISP1's data-plane variables.
+	for _, v := range eng.Space.M.Support(avail) {
+		if v < 32 {
+			t.Errorf("availability mentions destination bit %d", v)
+		}
+	}
+	// A destination outside the import-permitted space is unavailable.
+	if got := dp.AvailPredicate("ISP1", route.MustParsePrefix("16.0.0.0/4")); got != bdd.False {
+		t.Error("16.0.0.0/4 is not permitted by im1; availability should be empty")
+	}
+}
+
+func TestFIBEntriesCounted(t *testing.T) {
+	_, _, dp := runPipeline(t, testnet.Figure4)
+	for name, fib := range dp.FIBs {
+		if fib.Entries == 0 {
+			t.Errorf("router %s has an empty FIB", name)
+		}
+	}
+}
+
+func TestExternalInjectionSharesInternalTree(t *testing.T) {
+	// The PECs injected from an external neighbor must mirror the internal
+	// first hop's PECs exactly (same predicates and suffix paths).
+	eng, _, dp := runPipeline(t, testnet.Figure4)
+	internal := map[string]*PEC{}
+	for _, pec := range dp.PECsFrom("PR1", "") {
+		internal[pathKey(pec.Path)+pec.Final.String()] = pec
+	}
+	for _, pec := range dp.PECsFrom("ISP1", "") {
+		if pec.Path[1] != "PR1" {
+			t.Fatalf("ISP1 traffic must enter at PR1: %v", pec.Path)
+		}
+		suffix := pathKey(pec.Path[1:]) + pec.Final.String()
+		in, ok := internal[suffix]
+		if !ok {
+			t.Fatalf("no internal counterpart for %v", pec.Path)
+		}
+		if in.Pkt != pec.Pkt {
+			t.Error("external-injected PEC predicate diverges from the internal tree")
+		}
+	}
+	_ = eng
+}
+
+func pathKey(p []string) string {
+	out := ""
+	for _, s := range p {
+		out += s + ">"
+	}
+	return out
+}

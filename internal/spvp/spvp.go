@@ -1,0 +1,361 @@
+// Package spvp implements the concrete Simple Path Vector Protocol
+// (Algorithm 1 of the Expresso paper, after Griffin et al.'s stable paths
+// problem): fixed-point route computation for one prefix under one concrete
+// external-route environment.
+//
+// SPVP is the substrate of the Batfish-style enumeration baseline
+// (internal/enumerate) and the ground truth for differential testing of the
+// symbolic engine (internal/epvp).
+package spvp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+// Environment is one concrete external-route environment: for each external
+// neighbor, the set of routes it advertises. Routes for prefixes other than
+// the one being computed are ignored by Run.
+type Environment map[string][]route.Route
+
+// Result is the converged state of an SPVP run.
+type Result struct {
+	// Best maps each internal router to its best (ECMP set of) routes for
+	// the prefix, sorted deterministically.
+	Best map[string][]route.Route
+	// ExternalReceived maps each external neighbor to the routes the
+	// network exported to it (its received RIB), used by routing-property
+	// checks such as RouteLeakFree.
+	ExternalReceived map[string][]route.Route
+	// Converged is false if the iteration cap was hit before a fixed point.
+	Converged bool
+	// Iterations is the number of synchronous rounds executed.
+	Iterations int
+}
+
+// DefaultPrefix is 0.0.0.0/0.
+var DefaultPrefix = route.Prefix{}
+
+// Run computes the stable routing state for one prefix under env.
+func Run(net *topology.Network, prefix route.Prefix, env Environment) *Result {
+	s := &state{net: net, prefix: prefix, env: env}
+	return s.run()
+}
+
+type state struct {
+	net    *topology.Network
+	prefix route.Prefix
+	env    Environment
+}
+
+// originated returns the routes router d injects locally for the prefix.
+func (s *state) originated(d *config.Device) []route.Route {
+	inject := false
+	for _, p := range d.Networks {
+		if p == s.prefix {
+			inject = true
+		}
+	}
+	if d.RedistributeConnected {
+		for _, itf := range d.Interfaces {
+			if itf.Prefix == s.prefix {
+				inject = true
+			}
+		}
+	}
+	if d.RedistributeStatic {
+		for _, st := range d.Statics {
+			if st.Prefix == s.prefix {
+				inject = true
+			}
+		}
+	}
+	if !inject {
+		return nil
+	}
+	return []route.Route{{
+		Prefix:      s.prefix,
+		Communities: route.CommunitySet{},
+		LocalPref:   route.DefaultLocalPref,
+		NextHop:     d.Name,
+		Originator:  d.Name,
+		Path:        []string{d.Name},
+	}}
+}
+
+// externalAdvertised returns the environment routes neighbor e advertises
+// for the prefix, normalized (originator, path).
+func (s *state) externalAdvertised(e string) []route.Route {
+	var out []route.Route
+	for _, r := range s.env[e] {
+		if r.Prefix != s.prefix {
+			continue
+		}
+		r = r.Clone()
+		if r.Communities == nil {
+			r.Communities = route.CommunitySet{}
+		}
+		r.Originator = e
+		r.Path = []string{e}
+		r.NextHop = e
+		out = append(out, r)
+	}
+	return out
+}
+
+// Export computes the route u sends to v for best route r, applying
+// session semantics (iBGP re-advertisement rules, community stripping, AS
+// prepending) and the export policy. The second result is false when the
+// route is not advertised on the session.
+func Export(net *topology.Network, u, v string, r route.Route) (route.Route, bool) {
+	s := &state{net: net}
+	return s.export(u, v, r)
+}
+
+// Import applies v's import processing for a route received from u.
+func Import(net *topology.Network, v, u string, r route.Route) (route.Route, bool) {
+	s := &state{net: net}
+	return s.importAt(v, u, r)
+}
+
+// Originated returns the routes d injects locally for the prefix.
+func Originated(net *topology.Network, router string, prefix route.Prefix) []route.Route {
+	s := &state{net: net, prefix: prefix}
+	return s.originated(net.Devices[router])
+}
+
+// MergeRoutes selects the most preferred routes from candidates (exported
+// for the asynchronous simulator).
+func MergeRoutes(candidates []route.Route) []route.Route {
+	return merge(candidates)
+}
+
+// learnedFrom returns the last hop a route was received from, or "" for a
+// locally originated route.
+func learnedFrom(r route.Route) string {
+	if len(r.Path) < 2 {
+		return ""
+	}
+	return r.Path[len(r.Path)-2]
+}
+
+// export computes the route u sends to v for route r in u's best set.
+// Returns false if the route is not advertised on this session.
+func (s *state) export(u, v string, r route.Route) (route.Route, bool) {
+	du := s.net.Devices[u]
+	su := s.net.Session(u, v)
+	if du == nil || su == nil {
+		return route.Route{}, false
+	}
+	// advertise-default sessions never export regular routes; default-route
+	// origination is handled separately in run().
+	if su.AdvertiseDefault {
+		return route.Route{}, false
+	}
+	// Propagation loop prevention.
+	if r.OnPath(v) {
+		return route.Route{}, false
+	}
+	from := learnedFrom(r)
+	toIBGP := s.net.IsIBGP(u, v)
+	if from != "" && s.net.IsInternal(from) && s.net.IsIBGP(u, from) && toIBGP {
+		// iBGP-learned routes are re-advertised to iBGP peers only by route
+		// reflectors: client routes reflect everywhere, non-client routes
+		// reflect to clients only.
+		sessFrom := s.net.Session(u, from)
+		fromClient := sessFrom != nil && sessFrom.ReflectClient
+		toClient := su.ReflectClient
+		if !fromClient && !toClient {
+			return route.Route{}, false
+		}
+	}
+	out, ok := config.ApplyPolicy(du.Policy(su.Export), r)
+	if !ok {
+		return route.Route{}, false
+	}
+	if !su.AdvertiseCommunity {
+		out.Communities = route.CommunitySet{}
+	}
+	if !toIBGP {
+		out.ASPath = append([]uint32{du.AS}, out.ASPath...)
+		// Local preference is not transmitted across eBGP.
+		out.LocalPref = route.DefaultLocalPref
+	}
+	return out, true
+}
+
+// importAt applies v's import processing for a route received from u.
+func (s *state) importAt(v, u string, r route.Route) (route.Route, bool) {
+	dv := s.net.Devices[v]
+	sv := s.net.Session(v, u)
+	if dv == nil || sv == nil {
+		return route.Route{}, false
+	}
+	fromEBGP := !s.net.IsIBGP(v, u)
+	if fromEBGP && r.HasASLoop(dv.AS) {
+		return route.Route{}, false
+	}
+	if r.OnPath(v) {
+		return route.Route{}, false
+	}
+	out, ok := config.ApplyPolicy(dv.Policy(sv.Import), r)
+	if !ok {
+		return route.Route{}, false
+	}
+	out.FromEBGP = fromEBGP
+	out.NextHop = u
+	out.Path = append(append([]string(nil), r.Path...), v)
+	return out, true
+}
+
+// merge selects the most preferred routes (ECMP set) from candidates.
+func merge(candidates []route.Route) []route.Route {
+	if len(candidates) == 0 {
+		return nil
+	}
+	best := []route.Route{candidates[0]}
+	for _, r := range candidates[1:] {
+		switch route.Compare(r, best[0]) {
+		case 1:
+			best = []route.Route{r}
+		case 0:
+			best = append(best, r)
+		}
+	}
+	// Deduplicate and sort deterministically.
+	sort.Slice(best, func(i, j int) bool { return routeKey(best[i]) < routeKey(best[j]) })
+	out := best[:0]
+	var prev string
+	for _, r := range best {
+		k := routeKey(r)
+		if k != prev {
+			out = append(out, r)
+			prev = k
+		}
+	}
+	return append([]route.Route(nil), out...)
+}
+
+func routeKey(r route.Route) string {
+	return fmt.Sprintf("%s|%v|%s|%d|%d|%d|%s|%s|%v|%v",
+		r.Prefix, r.ASPath, r.Communities, r.LocalPref, r.MED, r.Origin, r.NextHop, r.Originator, r.Path, r.FromEBGP)
+}
+
+func ribKey(rs []route.Route) string {
+	keys := make([]string, len(rs))
+	for i, r := range rs {
+		keys[i] = routeKey(r)
+	}
+	sort.Strings(keys)
+	var sb []byte
+	for _, k := range keys {
+		sb = append(sb, k...)
+		sb = append(sb, ';')
+	}
+	return string(sb)
+}
+
+func (s *state) run() *Result {
+	best := map[string][]route.Route{}
+	for _, name := range s.net.Internals {
+		best[name] = merge(s.originated(s.net.Devices[name]))
+	}
+	extBest := map[string][]route.Route{}
+	for _, e := range s.net.Externals {
+		extBest[e] = s.externalAdvertised(e)
+	}
+
+	res := &Result{
+		Best:             map[string][]route.Route{},
+		ExternalReceived: map[string][]route.Route{},
+	}
+	maxIter := 4*len(s.net.Internals) + 16
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		next := map[string][]route.Route{}
+		changed := false
+		for _, v := range s.net.Internals {
+			candidates := append([]route.Route(nil), s.originated(s.net.Devices[v])...)
+			for _, u := range s.net.Neighbors(v) {
+				if s.net.IsInternal(u) {
+					// Routes u exports to v.
+					for _, r := range best[u] {
+						er, ok := s.export(u, v, r)
+						if !ok {
+							continue
+						}
+						ir, ok := s.importAt(v, u, er)
+						if !ok {
+							continue
+						}
+						candidates = append(candidates, ir)
+					}
+					// advertise-default origination from u toward v.
+					su := s.net.Session(u, v)
+					if su != nil && su.AdvertiseDefault && s.prefix == DefaultPrefix {
+						def := route.Route{
+							Prefix:      DefaultPrefix,
+							Communities: route.CommunitySet{},
+							LocalPref:   route.DefaultLocalPref,
+							Originator:  u,
+							Path:        []string{u},
+						}
+						if ir, ok := s.importAt(v, u, def); ok {
+							candidates = append(candidates, ir)
+						}
+					}
+				} else {
+					// External neighbor advertisements.
+					for _, r := range extBest[u] {
+						if ir, ok := s.importAt(v, u, r); ok {
+							candidates = append(candidates, ir)
+						}
+					}
+				}
+			}
+			next[v] = merge(candidates)
+			if ribKey(next[v]) != ribKey(best[v]) {
+				changed = true
+			}
+		}
+		best = next
+		if !changed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Best = best
+
+	// Compute what the network exports to each external neighbor.
+	for _, e := range s.net.Externals {
+		var recv []route.Route
+		for _, u := range s.net.Neighbors(e) {
+			for _, r := range best[u] {
+				er, ok := s.export(u, e, r)
+				if !ok {
+					continue
+				}
+				er.Path = append(append([]string(nil), r.Path...), e)
+				recv = append(recv, er)
+			}
+			// advertise-default toward the external neighbor.
+			su := s.net.Session(u, e)
+			if su != nil && su.AdvertiseDefault && s.prefix == DefaultPrefix {
+				recv = append(recv, route.Route{
+					Prefix:      DefaultPrefix,
+					Communities: route.CommunitySet{},
+					LocalPref:   route.DefaultLocalPref,
+					Originator:  u,
+					Path:        []string{u, e},
+				})
+			}
+		}
+		sort.Slice(recv, func(i, j int) bool { return routeKey(recv[i]) < routeKey(recv[j]) })
+		res.ExternalReceived[e] = recv
+	}
+	return res
+}

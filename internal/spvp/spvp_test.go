@@ -1,0 +1,298 @@
+package spvp
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/testnet"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+func mustNet(t *testing.T, text string) *topology.Network {
+	t.Helper()
+	devices, err := config.ParseConfigs(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Build(devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func extRoute(prefix string, asPath ...uint32) route.Route {
+	return route.Route{
+		Prefix:      route.MustParsePrefix(prefix),
+		ASPath:      asPath,
+		Communities: route.CommunitySet{},
+		LocalPref:   route.DefaultLocalPref,
+	}
+}
+
+func TestFigure4InternalPrefixPropagates(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	p := route.MustParsePrefix("0.0.0.0/2")
+	res := Run(net, p, Environment{})
+	if !res.Converged {
+		t.Fatal("SPVP did not converge")
+	}
+	// PR2 originates; PR1 learns it over iBGP.
+	if len(res.Best["PR2"]) != 1 || res.Best["PR2"][0].Originator != "PR2" {
+		t.Errorf("PR2 best = %v", res.Best["PR2"])
+	}
+	if len(res.Best["PR1"]) != 1 || res.Best["PR1"][0].NextHop != "PR2" {
+		t.Errorf("PR1 best = %v", res.Best["PR1"])
+	}
+	// The internal prefix is exported to both ISPs (ex policies permit it:
+	// no community attached).
+	if len(res.ExternalReceived["ISP1"]) != 1 {
+		t.Errorf("ISP1 received %v", res.ExternalReceived["ISP1"])
+	}
+	if len(res.ExternalReceived["ISP2"]) != 1 {
+		t.Errorf("ISP2 received %v", res.ExternalReceived["ISP2"])
+	}
+	// eBGP export prepends AS 300.
+	if r := res.ExternalReceived["ISP1"][0]; len(r.ASPath) != 1 || r.ASPath[0] != 300 {
+		t.Errorf("exported AS path = %v", r.ASPath)
+	}
+}
+
+func TestFigure4RouteLeak(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	p := route.MustParsePrefix("128.0.0.0/2")
+	env := Environment{"ISP1": {extRoute("128.0.0.0/2", 100)}}
+	res := Run(net, p, env)
+	if !res.Converged {
+		t.Fatal("SPVP did not converge")
+	}
+	// PR1 imports with local-pref 200 and community 300:100.
+	pr1 := res.Best["PR1"]
+	if len(pr1) != 1 || pr1[0].LocalPref != 200 {
+		t.Fatalf("PR1 best = %v", pr1)
+	}
+	if !pr1[0].Communities[route.MustParseCommunity("300:100")] {
+		t.Error("PR1 best should carry 300:100")
+	}
+	// PR2 learns it via iBGP; the community was stripped (missing
+	// advertise-community on PR1's session).
+	pr2 := res.Best["PR2"]
+	if len(pr2) != 1 || pr2[0].NextHop != "PR1" {
+		t.Fatalf("PR2 best = %v", pr2)
+	}
+	if len(pr2[0].Communities) != 0 {
+		t.Errorf("PR2 best communities = %v, want stripped", pr2[0].Communities)
+	}
+	// iBGP preserves local preference.
+	if pr2[0].LocalPref != 200 {
+		t.Errorf("PR2 best local-pref = %d, want 200", pr2[0].LocalPref)
+	}
+	// The leak: ISP2 receives a route originated by ISP1.
+	leaked := res.ExternalReceived["ISP2"]
+	if len(leaked) != 1 || leaked[0].Originator != "ISP1" {
+		t.Fatalf("expected leak to ISP2, got %v", leaked)
+	}
+}
+
+func TestFigure4FixedNoLeak(t *testing.T) {
+	net := mustNet(t, testnet.Figure4Fixed)
+	p := route.MustParsePrefix("128.0.0.0/2")
+	env := Environment{"ISP1": {extRoute("128.0.0.0/2", 100)}}
+	res := Run(net, p, env)
+	// With advertise-community, PR2 sees 300:100 and ex2 denies the export.
+	if got := res.ExternalReceived["ISP2"]; len(got) != 0 {
+		t.Errorf("fixed config still leaks: %v", got)
+	}
+	// The route still reaches PR2 itself.
+	if len(res.Best["PR2"]) != 1 {
+		t.Error("PR2 should still have the route")
+	}
+}
+
+func TestEgressPreferenceLocalPref(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	p := route.MustParsePrefix("192.0.0.0/2")
+	env := Environment{
+		"ISP1": {extRoute("192.0.0.0/2", 100)},
+		"ISP2": {extRoute("192.0.0.0/2", 200)},
+	}
+	res := Run(net, p, env)
+	// PR1 prefers ISP1 (local-pref 200); PR2 prefers the iBGP route from
+	// PR1 (lp 200) over its own eBGP route from ISP2 (lp 100).
+	if r := res.Best["PR1"]; len(r) != 1 || r[0].NextHop != "ISP1" {
+		t.Errorf("PR1 best = %v", r)
+	}
+	if r := res.Best["PR2"]; len(r) != 1 || r[0].NextHop != "PR1" {
+		t.Errorf("PR2 best = %v", r)
+	}
+}
+
+func TestASLoopRejected(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	p := route.MustParsePrefix("128.0.0.0/2")
+	// ISP1 advertises a path already containing AS 300 (the network's own
+	// AS); import must reject it.
+	env := Environment{"ISP1": {extRoute("128.0.0.0/2", 100, 300)}}
+	res := Run(net, p, env)
+	if len(res.Best["PR1"]) != 0 {
+		t.Errorf("PR1 accepted a looped path: %v", res.Best["PR1"])
+	}
+}
+
+func TestCase1Blackhole(t *testing.T) {
+	net := mustNet(t, testnet.Case1Blackhole)
+	p := route.MustParsePrefix("10.1.0.0/16")
+	// Baseline: nobody advertises the prefix externally; C learns it from
+	// the datacenter (DC) and it propagates to A and B.
+	res := Run(net, p, Environment{"DC": {extRoute("10.1.0.0/16", 65500)}})
+	if r := res.Best["C"]; len(r) != 1 || r[0].NextHop != "DC" {
+		t.Fatalf("C best = %v", r)
+	}
+	if r := res.Best["A"]; len(r) != 1 || r[0].NextHop != "C" {
+		t.Fatalf("A best = %v", r)
+	}
+	if r := res.Best["B"]; len(r) != 1 || r[0].NextHop != "C" {
+		t.Fatalf("B best = %v", r)
+	}
+	// Incident: ISP D also advertises the internal prefix. A prefers it
+	// (local-pref 200) and C picks A's iBGP route over the DC eBGP route,
+	// because 200 > 150.
+	res = Run(net, p, Environment{
+		"DC": {extRoute("10.1.0.0/16", 65500)},
+		"D":  {extRoute("10.1.0.0/16", 200)},
+	})
+	if r := res.Best["C"]; len(r) != 1 || r[0].NextHop != "A" {
+		t.Fatalf("C best after hijack = %v", r)
+	}
+	// C no longer re-advertises to B (iBGP-learned routes don't transit):
+	// B is blackholed.
+	if r := res.Best["B"]; len(r) != 0 {
+		t.Fatalf("B best after hijack = %v, want no route (blackhole)", r)
+	}
+}
+
+func TestRouteReflector(t *testing.T) {
+	text := `
+router RR
+bgp as 65000
+route-policy all permit node 10
+bgp peer PR1 AS 65000 reflect-client advertise-community
+bgp peer PR2 AS 65000 reflect-client advertise-community
+
+router PR1
+bgp as 65000
+bgp network 10.0.0.0/8
+route-policy all permit node 10
+bgp peer RR AS 65000 advertise-community
+
+router PR2
+bgp as 65000
+route-policy all permit node 10
+bgp peer RR AS 65000 advertise-community
+`
+	net := mustNet(t, text)
+	p := route.MustParsePrefix("10.0.0.0/8")
+	res := Run(net, p, Environment{})
+	// PR1 originates; RR reflects the client route to PR2.
+	if r := res.Best["PR2"]; len(r) != 1 || r[0].NextHop != "RR" {
+		t.Fatalf("PR2 best = %v (route reflection failed)", r)
+	}
+}
+
+func TestNoReflectionWithoutRR(t *testing.T) {
+	// Same topology but RR is not configured with reflect-client: PR2 must
+	// NOT receive PR1's route (classic iBGP non-transit).
+	text := `
+router RR
+bgp as 65000
+bgp peer PR1 AS 65000
+bgp peer PR2 AS 65000
+
+router PR1
+bgp as 65000
+bgp network 10.0.0.0/8
+bgp peer RR AS 65000
+
+router PR2
+bgp as 65000
+bgp peer RR AS 65000
+`
+	net := mustNet(t, text)
+	res := Run(net, route.MustParsePrefix("10.0.0.0/8"), Environment{})
+	if len(res.Best["RR"]) != 1 {
+		t.Fatal("RR should learn PR1's route")
+	}
+	if len(res.Best["PR2"]) != 0 {
+		t.Fatalf("PR2 must not learn an iBGP route via a non-reflector: %v", res.Best["PR2"])
+	}
+}
+
+func TestAdvertiseDefault(t *testing.T) {
+	text := `
+router GW
+bgp as 100
+route-policy all permit node 10
+bgp peer ISP AS 200 import all export all
+bgp peer EDGE AS 100 advertise-default
+
+router EDGE
+bgp as 100
+bgp peer GW AS 100
+`
+	net := mustNet(t, text)
+	// Regular prefix: suppressed on the advertise-default session.
+	env := Environment{"ISP": {extRoute("20.0.0.0/8", 200)}}
+	res := Run(net, route.MustParsePrefix("20.0.0.0/8"), env)
+	if len(res.Best["GW"]) != 1 {
+		t.Fatal("GW should learn the external route")
+	}
+	if len(res.Best["EDGE"]) != 0 {
+		t.Fatalf("EDGE must only receive the default route, got %v", res.Best["EDGE"])
+	}
+	// Default prefix: originated toward EDGE.
+	res = Run(net, DefaultPrefix, Environment{})
+	if r := res.Best["EDGE"]; len(r) != 1 || r[0].NextHop != "GW" {
+		t.Fatalf("EDGE default route = %v", r)
+	}
+}
+
+func TestEqualPreferenceTieBreak(t *testing.T) {
+	// Two externals advertise identical-preference routes to one router:
+	// the decision process tie-breaks deterministically (lexicographic
+	// next hop), selecting a single best route.
+	text := `
+router R
+bgp as 100
+route-policy all permit node 10
+bgp peer X AS 200 import all export all
+bgp peer Y AS 300 import all export all
+`
+	net := mustNet(t, text)
+	env := Environment{
+		"X": {extRoute("20.0.0.0/8", 200)},
+		"Y": {extRoute("20.0.0.0/8", 300)},
+	}
+	res := Run(net, route.MustParsePrefix("20.0.0.0/8"), env)
+	if len(res.Best["R"]) != 1 || res.Best["R"][0].NextHop != "X" {
+		t.Fatalf("expected single best via X, got %v", res.Best["R"])
+	}
+}
+
+func TestEnvironmentPrefixFiltering(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	// Environment routes for other prefixes must be ignored.
+	env := Environment{"ISP1": {extRoute("192.0.0.0/2", 100)}}
+	res := Run(net, route.MustParsePrefix("128.0.0.0/2"), env)
+	if len(res.Best["PR1"]) != 0 {
+		t.Errorf("route for wrong prefix considered: %v", res.Best["PR1"])
+	}
+}
+
+func TestConvergedFlagAndIterations(t *testing.T) {
+	net := mustNet(t, testnet.Figure4)
+	res := Run(net, route.MustParsePrefix("0.0.0.0/2"), Environment{})
+	if !res.Converged || res.Iterations == 0 {
+		t.Errorf("Converged=%v Iterations=%d", res.Converged, res.Iterations)
+	}
+}

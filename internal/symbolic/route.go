@@ -1,0 +1,293 @@
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/expresso-verify/expresso/internal/automaton"
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/community"
+	"github.com/expresso-verify/expresso/internal/route"
+)
+
+// Route is a symbolic route (Equation 1 of the paper): a predicate U over
+// prefix and advertiser variables, a symbolic AS path (a regular language),
+// a symbolic community list, and concrete shared attributes. It represents
+// the set of concrete routes obtained by unfolding (Equation 2).
+type Route struct {
+	// U is the prefix-environment predicate in the control-plane Space.
+	U bdd.Node
+	// ASPath is the symbolic AS path. A nil ASPath means the engine runs in
+	// concrete-AS-path mode ("Expresso-") and ASLen carries the length.
+	ASPath *automaton.Automaton
+	// ASLen is the AS-path length used for preference comparison: the
+	// shortest accepted word of ASPath (kept in sync by Normalize), or the
+	// concrete length in Expresso- mode.
+	ASLen int
+	// Comm is the symbolic community list in the community Space.
+	Comm bdd.Node
+
+	// Concrete attributes (§4.2 "other attributes").
+	LocalPref uint32
+	MED       uint32
+	Origin    route.Origin
+
+	// Propagation metadata.
+	// NextHop is the neighbor the route was learned from ("" if local).
+	NextHop string
+	// Originator is the first hop of the propagation path.
+	Originator string
+	// Path is the router-level propagation path, current holder last.
+	Path []string
+	// FromEBGP records whether the last hop was an eBGP session.
+	FromEBGP bool
+
+	keyCache string // memoized Key(); cleared by Clone
+}
+
+// Clone returns a copy sharing the immutable BDD/automaton handles.
+func (r *Route) Clone() *Route {
+	out := *r
+	out.Path = append([]string(nil), r.Path...)
+	out.keyCache = ""
+	return &out
+}
+
+// LearnedFrom returns the hop the route was received from, or "" for a
+// locally originated route.
+func (r *Route) LearnedFrom() string {
+	if len(r.Path) < 2 {
+		return ""
+	}
+	return r.Path[len(r.Path)-2]
+}
+
+// OnPath reports whether router appears on the propagation path.
+func (r *Route) OnPath(router string) bool {
+	for _, h := range r.Path {
+		if h == router {
+			return true
+		}
+	}
+	return false
+}
+
+// SyncASLen recomputes ASLen from the automaton (no-op in Expresso- mode).
+func (r *Route) SyncASLen() {
+	if r.ASPath != nil {
+		r.ASLen = r.ASPath.ShortestLength()
+	}
+}
+
+// AttrsKey is a canonical string for everything except U, used to coalesce
+// symbolic routes with identical attributes and to detect fixed points.
+func (r *Route) AttrsKey() string {
+	asp := "-"
+	if r.ASPath != nil {
+		asp = r.ASPath.Signature()
+	}
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%s|%s|%s|%v",
+		asp, r.ASLen, r.Comm, r.LocalPref, r.MED, r.Origin,
+		r.NextHop, r.Originator, strings.Join(r.Path, ">"), r.FromEBGP)
+}
+
+// Key is AttrsKey plus U, identifying the route completely. The result is
+// memoized; callers must not mutate a route after its Key has been taken
+// (use Clone).
+func (r *Route) Key() string {
+	if r.keyCache == "" {
+		r.keyCache = fmt.Sprintf("%d|%s", r.U, r.AttrsKey())
+	}
+	return r.keyCache
+}
+
+// Compare applies the BGP decision process to two symbolic routes'
+// attributes (the paper's ρ): >0 if a is preferred, <0 if b is, 0 on a tie.
+// Symbolic AS paths compare by shortest accepted length (§4.3, §8).
+func Compare(a, b *Route) int {
+	if a.LocalPref != b.LocalPref {
+		if a.LocalPref > b.LocalPref {
+			return 1
+		}
+		return -1
+	}
+	if a.ASLen != b.ASLen {
+		if a.ASLen < b.ASLen {
+			return 1
+		}
+		return -1
+	}
+	if a.Origin != b.Origin {
+		if a.Origin < b.Origin {
+			return 1
+		}
+		return -1
+	}
+	if a.MED != b.MED {
+		if a.MED < b.MED {
+			return 1
+		}
+		return -1
+	}
+	if a.FromEBGP != b.FromEBGP {
+		if a.FromEBGP {
+			return 1
+		}
+		return -1
+	}
+	// Deterministic tie-breaking, standing in for BGP's oldest-route /
+	// lowest-router-id steps: shorter propagation path, then lexicographic
+	// next hop and originator. This selects a single best route per
+	// (prefix, environment) among otherwise equal candidates, which keeps
+	// symbolic RIBs small (real BGP is equally deterministic without
+	// multipath).
+	if len(a.Path) != len(b.Path) {
+		if len(a.Path) < len(b.Path) {
+			return 1
+		}
+		return -1
+	}
+	if a.NextHop != b.NextHop {
+		if a.NextHop < b.NextHop {
+			return 1
+		}
+		return -1
+	}
+	if a.Originator != b.Originator {
+		if a.Originator < b.Originator {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// Merge implements the paper's ⊕ (Equation 5) generalized to a route list:
+// each route keeps only the prefix-environment pairs not claimed by any
+// strictly more preferred route. Routes with identical attributes are
+// coalesced by unioning their U. Empty routes are dropped. The result is
+// deterministic (sorted by attribute key).
+func Merge(s *Space, routes []*Route) []*Route {
+	// Coalesce by attributes first.
+	byAttrs := map[string]*Route{}
+	var order []string
+	for _, r := range routes {
+		if r.U == bdd.False {
+			continue
+		}
+		k := r.AttrsKey()
+		if ex, ok := byAttrs[k]; ok {
+			ex.U = s.M.Or(ex.U, r.U)
+		} else {
+			c := r.Clone()
+			byAttrs[k] = c
+			order = append(order, k)
+		}
+	}
+	list := make([]*Route, 0, len(order))
+	for _, k := range order {
+		list = append(list, byAttrs[k])
+	}
+	// Subtract from each route the union of strictly more preferred U.
+	// Grouping by preference class keeps this linear in the number of
+	// routes: classes are processed best-first, accumulating the union of
+	// all strictly better routes.
+	sortStable := append([]*Route(nil), list...)
+	sortByPreference(sortStable)
+	out := make([]*Route, 0, len(sortStable))
+	blocked := bdd.False // union of U over strictly better classes
+	i := 0
+	for i < len(sortStable) {
+		j := i
+		for j < len(sortStable) && Compare(sortStable[j], sortStable[i]) == 0 {
+			j++
+		}
+		classUnion := bdd.False
+		for k := i; k < j; k++ {
+			r := sortStable[k]
+			classUnion = s.M.Or(classUnion, r.U)
+			u := s.M.Diff(r.U, blocked)
+			if u == bdd.False {
+				continue
+			}
+			nr := r.Clone()
+			nr.U = u
+			out = append(out, nr)
+		}
+		blocked = s.M.Or(blocked, classUnion)
+		i = j
+	}
+	sortRoutes(out)
+	return out
+}
+
+// sortByPreference orders routes best-first (stable within ties).
+func sortByPreference(rs []*Route) {
+	sort.SliceStable(rs, func(i, j int) bool { return Compare(rs[i], rs[j]) > 0 })
+}
+
+func sortRoutes(rs []*Route) {
+	keys := make([]string, len(rs))
+	idx := make([]int, len(rs))
+	for i, r := range rs {
+		keys[i] = r.Key()
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sorted := make([]*Route, len(rs))
+	for i, j := range idx {
+		sorted[i] = rs[j]
+	}
+	copy(rs, sorted)
+}
+
+// RIBKey canonically identifies a route list, for fixed-point detection.
+func RIBKey(rs []*Route) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		sb.WriteString(r.Key())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// Unfold materializes the concrete routes of r for a specific prefix and
+// environment assignment; used by differential tests. comm must be the
+// community space the route's Comm node lives in. It returns the concrete
+// attributes if (prefix, env) ∈ U, with one representative AS path.
+func (r *Route) Unfold(s *Space, comm *community.Space, p route.Prefix, envAssign map[int]bool) (route.Route, bool) {
+	assign := map[int]bool{}
+	for b := 0; b < AddrBits; b++ {
+		assign[b] = p.Addr&(1<<(31-b)) != 0
+	}
+	for b := 0; b < LenBits; b++ {
+		assign[AddrBits+b] = p.Len&(1<<(LenBits-1-b)) != 0
+	}
+	for v, val := range envAssign {
+		assign[v] = val
+	}
+	if !s.M.Eval(r.U, assign) {
+		return route.Route{}, false
+	}
+	out := route.Route{
+		Prefix:      p,
+		LocalPref:   r.LocalPref,
+		MED:         r.MED,
+		Origin:      r.Origin,
+		NextHop:     r.NextHop,
+		Originator:  r.Originator,
+		Path:        append([]string(nil), r.Path...),
+		FromEBGP:    r.FromEBGP,
+		Communities: route.CommunitySet{},
+	}
+	if r.ASPath != nil {
+		if w, ok := r.ASPath.ShortestWord(); ok {
+			out.ASPath = make([]uint32, len(w))
+			for i, sym := range w {
+				out.ASPath[i] = uint32(sym)
+			}
+		}
+	}
+	return out, true
+}

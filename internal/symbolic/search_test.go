@@ -1,0 +1,81 @@
+package symbolic
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func TestSearchPolicyFigure4Import(t *testing.T) {
+	ctx, devices := newCtx(t, testnet.Figure4)
+	pol := devices[0].Policies["im1"]
+
+	permits := SearchPolicy(ctx, pol, true)
+	if len(permits) != 1 {
+		t.Fatalf("permit classes = %d, want 1", len(permits))
+	}
+	p := permits[0]
+	if p.LocalPref != 200 {
+		t.Errorf("class local-pref = %d, want 200", p.LocalPref)
+	}
+	if len(p.AddsCommunities) != 1 || p.AddsCommunities[0] != route.MustParseCommunity("300:100") {
+		t.Errorf("class communities = %v", p.AddsCommunities)
+	}
+	// The permitted prefixes are exactly the two /2s.
+	want := ctx.Space.M.Or(
+		ctx.Space.PrefixBDD(route.MustParsePrefix("128.0.0.0/2")),
+		ctx.Space.PrefixBDD(route.MustParsePrefix("192.0.0.0/2")),
+	)
+	if p.Guard.Prefix != want {
+		t.Error("permit guard prefix mismatch")
+	}
+
+	denies := SearchPolicy(ctx, pol, false)
+	if len(denies) == 0 {
+		t.Fatal("expected deny classes (default deny)")
+	}
+	// The union of all guards' prefixes covers the whole space.
+	union := bdd.False
+	for _, r := range append(permits, denies...) {
+		union = ctx.Space.M.Or(union, r.Guard.Prefix)
+	}
+	if ctx.Space.M.And(ctx.Space.Valid(), ctx.Space.M.Not(union)) != bdd.False {
+		t.Error("behavior classes do not cover the prefix space")
+	}
+}
+
+func TestSearchPolicyDenyByCommunity(t *testing.T) {
+	ctx, devices := newCtx(t, testnet.Figure4)
+	pol := devices[0].Policies["ex1"] // deny tagged, permit rest
+	denies := SearchPolicy(ctx, pol, false)
+	foundTagged := false
+	for _, d := range denies {
+		if d.Guard.Comm != bdd.True && d.Guard.Comm != bdd.False {
+			foundTagged = true
+		}
+	}
+	if !foundTagged {
+		t.Error("deny class should be community-constrained")
+	}
+	permits := SearchPolicy(ctx, pol, true)
+	if len(permits) == 0 {
+		t.Error("ex1 should have a permit class")
+	}
+}
+
+func TestDescribeGuard(t *testing.T) {
+	ctx, devices := newCtx(t, testnet.Figure4)
+	pol := devices[0].Policies["im1"]
+	for _, r := range SearchPolicy(ctx, pol, true) {
+		s := DescribeGuard(ctx, r.Guard)
+		if !strings.Contains(s, "prefixes incl.") {
+			t.Errorf("description = %q", s)
+		}
+	}
+	if s := DescribeGuard(ctx, Guard{Prefix: bdd.True, Comm: bdd.True}); s != "any prefix" {
+		t.Errorf("trivial guard description = %q", s)
+	}
+}

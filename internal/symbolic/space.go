@@ -1,0 +1,227 @@
+// Package symbolic defines Expresso's symbolic routes (§4.2 of the paper)
+// and the operations on them (§4.3): the control-plane BDD space over
+// prefix, length, and advertiser variables; symbolic route constraint,
+// merge with preference-based dropping, and the compilation of route
+// policies into complete, non-overlapping guarded transfer functions
+// (Algorithm 2).
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/route"
+)
+
+// Control-plane variable layout (§3.1: 38 + n variables for IPv4):
+// vars 0..31 are address bits (0 = most significant), 32..37 are the prefix
+// length (6 bits, MSB first), and 38..38+n-1 are advertiser variables, one
+// per external neighbor.
+const (
+	// AddrBits is the number of address bits.
+	AddrBits = 32
+	// LenBits is the number of prefix-length bits.
+	LenBits = 6
+	// FirstNbrVar is the index of the first advertiser variable.
+	FirstNbrVar = AddrBits + LenBits
+)
+
+// Space is the control-plane symbolic universe for a network with a fixed
+// number of external neighbors.
+type Space struct {
+	M            *bdd.Manager
+	NumNeighbors int
+
+	addrVars []int
+	lenVars  []int
+
+	valid    bdd.Node // canonical-prefix predicate, cached
+	lenCubes [33]bdd.Node
+}
+
+// NewSpace allocates a control-plane space for n external neighbors.
+func NewSpace(n int) *Space {
+	s := &Space{
+		M:            bdd.New(FirstNbrVar + n),
+		NumNeighbors: n,
+	}
+	s.addrVars = make([]int, AddrBits)
+	for i := range s.addrVars {
+		s.addrVars[i] = i
+	}
+	s.lenVars = make([]int, LenBits)
+	for i := range s.lenVars {
+		s.lenVars[i] = AddrBits + i
+	}
+	for l := 0; l <= 32; l++ {
+		s.lenCubes[l] = s.M.UintCube(s.lenVars, uint64(l))
+	}
+	s.valid = s.computeValid()
+	return s
+}
+
+// NbrVar returns the advertiser variable of neighbor i.
+func (s *Space) NbrVar(i int) int {
+	if i < 0 || i >= s.NumNeighbors {
+		panic(fmt.Sprintf("symbolic: neighbor %d out of range", i))
+	}
+	return FirstNbrVar + i
+}
+
+// NbrVars returns all advertiser variables.
+func (s *Space) NbrVars() []int {
+	out := make([]int, s.NumNeighbors)
+	for i := range out {
+		out[i] = FirstNbrVar + i
+	}
+	return out
+}
+
+// LenCube returns the predicate "prefix length == l".
+func (s *Space) LenCube(l int) bdd.Node { return s.lenCubes[l] }
+
+// computeValid builds the canonical-prefix predicate: the length is at most
+// 32 and every address bit at or below the length is zero. This keeps each
+// (address, length) pair a unique prefix.
+func (s *Space) computeValid() bdd.Node {
+	terms := make([]bdd.Node, 0, 33)
+	for l := 0; l <= 32; l++ {
+		t := s.lenCubes[l]
+		for b := l; b < AddrBits; b++ {
+			t = s.M.And(t, s.M.NVar(s.addrVars[b]))
+		}
+		terms = append(terms, t)
+	}
+	return s.M.Or(terms...)
+}
+
+// Valid returns the canonical-prefix predicate (the universe of all
+// 2^33 - 1 prefixes).
+func (s *Space) Valid() bdd.Node { return s.valid }
+
+// PrefixBDD returns the predicate identifying exactly prefix p.
+func (s *Space) PrefixBDD(p route.Prefix) bdd.Node {
+	return s.M.And(
+		s.M.UintCube(s.addrVars, uint64(p.Addr)),
+		s.lenCubes[p.Len],
+	)
+}
+
+// PrefixesBDD returns the union of PrefixBDD over ps. The union is built
+// as a balanced tree over address-sorted terms: a linear fold over tens of
+// thousands of prefixes would repeatedly traverse the growing union.
+func (s *Space) PrefixesBDD(ps []route.Prefix) bdd.Node {
+	sorted := append([]route.Prefix(nil), ps...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Addr != sorted[j].Addr {
+			return sorted[i].Addr < sorted[j].Addr
+		}
+		return sorted[i].Len < sorted[j].Len
+	})
+	terms := make([]bdd.Node, len(sorted))
+	for i, p := range sorted {
+		terms[i] = s.PrefixBDD(p)
+	}
+	for len(terms) > 1 {
+		next := terms[:0]
+		for i := 0; i < len(terms); i += 2 {
+			if i+1 < len(terms) {
+				next = append(next, s.M.Or(terms[i], terms[i+1]))
+			} else {
+				next = append(next, terms[i])
+			}
+		}
+		terms = next
+	}
+	if len(terms) == 0 {
+		return bdd.False
+	}
+	return terms[0]
+}
+
+// PrefixMatchBDD returns the predicate for an if-match prefix spec: all
+// canonical prefixes inside m.Prefix with length in [m.GE, m.LE].
+func (s *Space) PrefixMatchBDD(m config.PrefixMatch) bdd.Node {
+	// High m.Prefix.Len bits fixed to the spec's address.
+	high := bdd.True
+	for b := 0; b < int(m.Prefix.Len); b++ {
+		bit := m.Prefix.Addr&(1<<(31-b)) != 0
+		if bit {
+			high = s.M.And(high, s.M.Var(s.addrVars[b]))
+		} else {
+			high = s.M.And(high, s.M.NVar(s.addrVars[b]))
+		}
+	}
+	terms := make([]bdd.Node, 0, int(m.LE)-int(m.GE)+1)
+	for l := int(m.GE); l <= int(m.LE); l++ {
+		t := s.M.And(high, s.lenCubes[l])
+		// Canonical form: bits at or below the length are zero.
+		for b := l; b < AddrBits; b++ {
+			t = s.M.And(t, s.M.NVar(s.addrVars[b]))
+		}
+		terms = append(terms, t)
+	}
+	return s.M.Or(terms...)
+}
+
+// Cond extracts the advertiser condition of a predicate: the paper's
+// Cond(), existential quantification of the address and length variables.
+func (s *Space) Cond(u bdd.Node) bdd.Node {
+	vars := make([]int, 0, FirstNbrVar)
+	vars = append(vars, s.addrVars...)
+	vars = append(vars, s.lenVars...)
+	return s.M.Exists(u, vars...)
+}
+
+// PrefixPart extracts the prefix part of a predicate: existential
+// quantification of the advertiser variables.
+func (s *Space) PrefixPart(u bdd.Node) bdd.Node {
+	return s.M.Exists(u, s.NbrVars()...)
+}
+
+// Lengths returns the sorted prefix lengths present in u.
+func (s *Space) Lengths(u bdd.Node) []int {
+	var out []int
+	for l := 0; l <= 32; l++ {
+		if s.M.And(u, s.lenCubes[l]) != bdd.False {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// DecodePrefix reads the prefix selected by a satisfying assignment (as
+// returned by the manager's AnySat; unassigned variables default to zero).
+func (s *Space) DecodePrefix(assign map[int]bool) route.Prefix {
+	var addr uint32
+	for b := 0; b < AddrBits; b++ {
+		if assign[s.addrVars[b]] {
+			addr |= 1 << (31 - b)
+		}
+	}
+	var l uint8
+	for b := 0; b < LenBits; b++ {
+		if assign[s.lenVars[b]] {
+			l |= 1 << (LenBits - 1 - b)
+		}
+	}
+	if l > 32 {
+		l = 32
+	}
+	return route.Prefix{Addr: addr & route.MaskOf(l), Len: l}
+}
+
+// DecodeAdvertisers reads which neighbors advertise under a satisfying
+// assignment, as a sorted list of neighbor indices whose variable is true.
+func (s *Space) DecodeAdvertisers(assign map[int]bool) []int {
+	var out []int
+	for i := 0; i < s.NumNeighbors; i++ {
+		if assign[s.NbrVar(i)] {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,215 @@
+// Package topology derives the network graph Expresso analyzes from a set
+// of parsed device configurations: internal routers, external neighbors
+// (peer names with no configuration of their own), and the BGP sessions
+// between them.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/route"
+)
+
+// Network is the analyzable model of a configured network.
+type Network struct {
+	// Devices maps internal router name to its configuration.
+	Devices map[string]*config.Device
+	// Internals lists internal router names, sorted.
+	Internals []string
+	// Externals lists external neighbor names (peers that have no device
+	// configuration), sorted. Their index in this slice is the neighbor
+	// index used for advertiser variables.
+	Externals []string
+	// ExternalAS maps an external neighbor to its AS number (taken from the
+	// remote-as of the sessions referencing it).
+	ExternalAS map[string]uint32
+	// ExternalIndex maps external neighbor name to its index in Externals.
+	ExternalIndex map[string]int
+
+	// sessions[u][v] is u's session config toward v (nil if none).
+	sessions map[string]map[string]*config.Peer
+}
+
+// Build constructs a Network from parsed devices. Peer names that do not
+// match any device become external neighbors. It is an error for two
+// sessions to disagree on an external neighbor's AS.
+func Build(devices []*config.Device) (*Network, error) {
+	n := &Network{
+		Devices:       make(map[string]*config.Device, len(devices)),
+		ExternalAS:    map[string]uint32{},
+		ExternalIndex: map[string]int{},
+		sessions:      map[string]map[string]*config.Peer{},
+	}
+	for _, d := range devices {
+		if _, dup := n.Devices[d.Name]; dup {
+			return nil, fmt.Errorf("topology: duplicate device %q", d.Name)
+		}
+		n.Devices[d.Name] = d
+		n.Internals = append(n.Internals, d.Name)
+	}
+	sort.Strings(n.Internals)
+
+	extSet := map[string]bool{}
+	for _, d := range devices {
+		m := map[string]*config.Peer{}
+		n.sessions[d.Name] = m
+		for _, p := range d.Peers {
+			if _, dup := m[p.Neighbor]; dup {
+				return nil, fmt.Errorf("topology: %s has duplicate sessions with %s", d.Name, p.Neighbor)
+			}
+			m[p.Neighbor] = p
+			if _, internal := n.Devices[p.Neighbor]; !internal {
+				extSet[p.Neighbor] = true
+				if as, ok := n.ExternalAS[p.Neighbor]; ok && as != p.RemoteAS {
+					return nil, fmt.Errorf("topology: external %s has conflicting AS %d vs %d", p.Neighbor, as, p.RemoteAS)
+				}
+				n.ExternalAS[p.Neighbor] = p.RemoteAS
+			}
+		}
+		// Validate policy references.
+		for _, p := range d.Peers {
+			if p.Import != "" && d.Policies[p.Import] == nil {
+				return nil, fmt.Errorf("topology: %s: session with %s references unknown import policy %q", d.Name, p.Neighbor, p.Import)
+			}
+			if p.Export != "" && d.Policies[p.Export] == nil {
+				return nil, fmt.Errorf("topology: %s: session with %s references unknown export policy %q", d.Name, p.Neighbor, p.Export)
+			}
+		}
+	}
+	for e := range extSet {
+		n.Externals = append(n.Externals, e)
+	}
+	sort.Strings(n.Externals)
+	for i, e := range n.Externals {
+		n.ExternalIndex[e] = i
+	}
+	return n, nil
+}
+
+// IsInternal reports whether name is a configured router.
+func (n *Network) IsInternal(name string) bool {
+	_, ok := n.Devices[name]
+	return ok
+}
+
+// IsExternal reports whether name is an external neighbor.
+func (n *Network) IsExternal(name string) bool {
+	_, ok := n.ExternalIndex[name]
+	return ok
+}
+
+// Session returns u's session configuration toward v, or nil. For external
+// u, the session is synthesized as the mirror of v's session toward u.
+func (n *Network) Session(u, v string) *config.Peer {
+	if m, ok := n.sessions[u]; ok {
+		return m[v]
+	}
+	return nil
+}
+
+// Neighbors returns the sorted list of nodes u has sessions with (for
+// internal u), or the sorted list of internal routers peering with u (for
+// external u).
+func (n *Network) Neighbors(u string) []string {
+	if m, ok := n.sessions[u]; ok {
+		out := make([]string, 0, len(m))
+		for v := range m {
+			out = append(out, v)
+		}
+		sort.Strings(out)
+		return out
+	}
+	// External node: reverse lookup.
+	var out []string
+	for _, r := range n.Internals {
+		if n.sessions[r][u] != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// IsIBGP reports whether the session between internal u and neighbor v is
+// iBGP (same AS on both ends).
+func (n *Network) IsIBGP(u, v string) bool {
+	du := n.Devices[u]
+	if du == nil {
+		// u external: session is eBGP by construction (externals have
+		// different ASes in our model).
+		return false
+	}
+	if dv, ok := n.Devices[v]; ok {
+		return du.AS == dv.AS
+	}
+	return du.AS == n.ExternalAS[v]
+}
+
+// InternalPrefixes returns the deduplicated sorted set of prefixes
+// originated inside the network (bgp network + connected + static).
+func (n *Network) InternalPrefixes() []route.Prefix {
+	set := map[route.Prefix]bool{}
+	for _, name := range n.Internals {
+		d := n.Devices[name]
+		for _, p := range d.Networks {
+			set[p] = true
+		}
+		for _, itf := range d.Interfaces {
+			set[itf.Prefix] = true
+		}
+		for _, s := range d.Statics {
+			set[s.Prefix] = true
+		}
+	}
+	out := make([]route.Prefix, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Len < out[j].Len
+	})
+	return out
+}
+
+// LinkCount returns the number of distinct adjacencies (undirected), both
+// internal-internal and internal-external.
+func (n *Network) LinkCount() int {
+	seen := map[[2]string]bool{}
+	for u, m := range n.sessions {
+		for v := range m {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			seen[[2]string{a, b}] = true
+		}
+	}
+	return len(seen)
+}
+
+// Stats summarizes the network for dataset tables.
+type Stats struct {
+	Nodes       int
+	Links       int
+	Peers       int
+	Prefixes    int
+	ConfigLines int
+}
+
+// Statistics computes Table 1-style statistics.
+func (n *Network) Statistics() Stats {
+	s := Stats{
+		Nodes: len(n.Internals),
+		Links: n.LinkCount(),
+		Peers: len(n.Externals),
+	}
+	s.Prefixes = len(n.InternalPrefixes())
+	for _, name := range n.Internals {
+		s.ConfigLines += n.Devices[name].Lines
+	}
+	return s
+}

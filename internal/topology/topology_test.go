@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func buildFigure4(t *testing.T) *Network {
+	t.Helper()
+	devices, err := config.ParseConfigs(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuildFigure4(t *testing.T) {
+	net := buildFigure4(t)
+	if len(net.Internals) != 2 || net.Internals[0] != "PR1" || net.Internals[1] != "PR2" {
+		t.Errorf("Internals = %v", net.Internals)
+	}
+	if len(net.Externals) != 2 || net.Externals[0] != "ISP1" || net.Externals[1] != "ISP2" {
+		t.Errorf("Externals = %v", net.Externals)
+	}
+	if net.ExternalAS["ISP1"] != 100 || net.ExternalAS["ISP2"] != 200 {
+		t.Error("external AS numbers wrong")
+	}
+	if net.ExternalIndex["ISP1"] != 0 || net.ExternalIndex["ISP2"] != 1 {
+		t.Error("external indices wrong")
+	}
+	if !net.IsInternal("PR1") || net.IsInternal("ISP1") {
+		t.Error("IsInternal misbehaves")
+	}
+	if !net.IsExternal("ISP2") || net.IsExternal("PR2") {
+		t.Error("IsExternal misbehaves")
+	}
+}
+
+func TestSessionsAndNeighbors(t *testing.T) {
+	net := buildFigure4(t)
+	if s := net.Session("PR1", "ISP1"); s == nil || s.Import != "im1" {
+		t.Error("PR1->ISP1 session lookup failed")
+	}
+	if s := net.Session("PR1", "ISP2"); s != nil {
+		t.Error("PR1 has no session with ISP2")
+	}
+	if got := net.Neighbors("PR1"); len(got) != 2 || got[0] != "ISP1" || got[1] != "PR2" {
+		t.Errorf("Neighbors(PR1) = %v", got)
+	}
+	if got := net.Neighbors("ISP1"); len(got) != 1 || got[0] != "PR1" {
+		t.Errorf("Neighbors(ISP1) = %v", got)
+	}
+}
+
+func TestIsIBGP(t *testing.T) {
+	net := buildFigure4(t)
+	if !net.IsIBGP("PR1", "PR2") {
+		t.Error("PR1-PR2 should be iBGP (both AS 300)")
+	}
+	if net.IsIBGP("PR1", "ISP1") {
+		t.Error("PR1-ISP1 should be eBGP")
+	}
+}
+
+func TestInternalPrefixes(t *testing.T) {
+	net := buildFigure4(t)
+	got := net.InternalPrefixes()
+	if len(got) != 1 || got[0] != route.MustParsePrefix("0.0.0.0/2") {
+		t.Errorf("InternalPrefixes = %v", got)
+	}
+}
+
+func TestLinkCountAndStats(t *testing.T) {
+	net := buildFigure4(t)
+	// PR1-ISP1, PR1-PR2, PR2-ISP2 = 3 adjacencies.
+	if got := net.LinkCount(); got != 3 {
+		t.Errorf("LinkCount = %d, want 3", got)
+	}
+	s := net.Statistics()
+	if s.Nodes != 2 || s.Links != 3 || s.Peers != 2 || s.Prefixes != 1 {
+		t.Errorf("Statistics = %+v", s)
+	}
+	if s.ConfigLines == 0 {
+		t.Error("config line count should be positive")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	dup := `
+router R1
+bgp as 1
+router R1
+bgp as 1
+`
+	devices, err := config.ParseConfigs(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(devices); err == nil {
+		t.Error("duplicate device names should fail")
+	}
+
+	conflictAS := `
+router R1
+bgp as 1
+bgp peer X remote-as 100
+router R2
+bgp as 1
+bgp peer X remote-as 200
+`
+	devices, err = config.ParseConfigs(conflictAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(devices); err == nil {
+		t.Error("conflicting external AS should fail")
+	}
+
+	badPolicy := `
+router R1
+bgp as 1
+bgp peer X remote-as 2 import nosuch
+`
+	devices, err = config.ParseConfigs(badPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(devices); err == nil {
+		t.Error("unknown policy reference should fail")
+	}
+
+	dupSession := `
+router R1
+bgp as 1
+bgp peer X remote-as 2
+bgp peer X remote-as 2
+`
+	devices, err = config.ParseConfigs(dupSession)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(devices); err == nil {
+		t.Error("duplicate sessions should fail")
+	}
+}

@@ -1,0 +1,153 @@
+package witness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/netgen"
+	"github.com/expresso-verify/expresso/internal/properties"
+	"github.com/expresso-verify/expresso/internal/testnet"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+func runLeakCheck(t *testing.T, text string) (*epvp.Engine, []properties.Violation) {
+	t.Helper()
+	devices, err := config.ParseConfigs(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Build(devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := epvp.New(net, epvp.FullMode())
+	cp := eng.Run()
+	return eng, properties.CheckRouteLeak(eng, cp)
+}
+
+func TestConcretizeAndReplayFigure4Leak(t *testing.T) {
+	eng, vs := runLeakCheck(t, testnet.Figure4)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	s, err := Concretize(eng, vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leak requires ISP1 advertising.
+	found := false
+	for _, a := range s.Advertisements {
+		if a.Neighbor == "ISP1" {
+			found = true
+			if a.Route.Prefix != vs[0].Prefix {
+				t.Error("advertisement prefix mismatch")
+			}
+			if len(a.Route.ASPath) != 1 || a.Route.ASPath[0] != 100 {
+				t.Errorf("AS path = %v", a.Route.ASPath)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("scenario does not include ISP1: %s", s)
+	}
+	msg, err := Replay(eng, vs[0], s)
+	if err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if !strings.Contains(msg, "confirmed") || !strings.Contains(msg, "ISP1") {
+		t.Errorf("confirmation = %q", msg)
+	}
+}
+
+func TestReplayHijack(t *testing.T) {
+	text := `
+router R1
+bgp as 100
+bgp network 10.0.0.0/16
+route-policy im permit node 10
+ set local-preference 200
+route-policy ex permit node 10
+bgp peer ISP AS 200 import im export ex
+`
+	devices, err := config.ParseConfigs(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Build(devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := epvp.New(net, epvp.FullMode())
+	cp := eng.Run()
+	vs := properties.CheckRouteHijack(eng, cp)
+	if len(vs) == 0 {
+		t.Fatal("expected a hijack violation")
+	}
+	s, err := Concretize(eng, vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Replay(eng, vs[0], s)
+	if err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if !strings.Contains(msg, "local-pref 200") {
+		t.Errorf("confirmation = %q", msg)
+	}
+}
+
+func TestConfirmAllRegion1Violations(t *testing.T) {
+	// Every routing violation on the generated region must reproduce
+	// concretely — the symbolic-to-concrete validation loop.
+	devices, err := config.ParseConfigs(netgen.CSP(netgen.CSPOldRegion(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := topology.Build(devices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := epvp.New(net, epvp.FullMode())
+	cp := eng.Run()
+	var vs []properties.Violation
+	vs = append(vs, properties.CheckRouteLeak(eng, cp)...)
+	vs = append(vs, properties.CheckRouteHijack(eng, cp)...)
+	if len(vs) == 0 {
+		t.Fatal("region1 should have routing violations")
+	}
+	lines := ConfirmRoutingViolations(eng, vs)
+	if len(lines) != len(vs) {
+		t.Fatalf("confirmed %d of %d violations", len(lines), len(vs))
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "NOT REPRODUCED") {
+			t.Errorf("unreproduced violation: %s", l)
+		}
+	}
+}
+
+func TestScenarioStringAndEnvironment(t *testing.T) {
+	eng, vs := runLeakCheck(t, testnet.Figure4)
+	s, err := Concretize(eng, vs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() == "" {
+		t.Error("empty scenario string")
+	}
+	env := s.Environment()
+	if len(env) != len(s.Advertisements) {
+		t.Error("environment size mismatch")
+	}
+}
+
+func TestReplayUnsupportedKind(t *testing.T) {
+	eng, vs := runLeakCheck(t, testnet.Figure4)
+	v := vs[0]
+	v.Kind = properties.TrafficHijackFree
+	if _, err := Replay(eng, v, &Scenario{Prefix: v.Prefix}); err == nil {
+		t.Error("forwarding-property replay should be unsupported")
+	}
+}

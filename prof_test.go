@@ -1,0 +1,19 @@
+package expresso
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/netgen"
+)
+
+func TestProfFullOldLeak(t *testing.T) {
+	net, err := Load(netgen.CSP(netgen.CSPOldFull()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{Properties: []Kind{RouteLeakFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SRC=%v RA=%v heap=%dMB violations=%d", rep.Timing.SRC, rep.Timing.RoutingAnalysis, rep.HeapBytes/1e6, len(rep.Violations))
+}

@@ -1,0 +1,26 @@
+# Tier-1 verification lives in ROADMAP.md; `make ci` is the superset run
+# in CI: vet + build + race-enabled tests across every package.
+
+GO ?= go
+
+.PHONY: ci vet build test race race-service
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the fast correctness gate.
+test:
+	$(GO) test ./...
+
+# Full race-enabled run (slower; the service package must stay race-clean).
+race:
+	$(GO) test -race ./...
+
+# Just the verification daemon under the race detector.
+race-service:
+	$(GO) test -race ./internal/service/...

@@ -3,25 +3,35 @@
 //
 // Usage:
 //
-//	expresso check -file net.cfg [-props leak,hijack,traffic] [-bte 11537:888] [-minus]
+//	expresso check -file net.cfg [-props leak,hijack,traffic] [-bte 11537:888] [-minus] [-json]
 //	expresso check -dir configs/
 //	expresso stats -file net.cfg
 //	expresso gen -dataset full-old -out configs/
+//	expresso serve -addr :8080 [-workers N] [-queue N] [-cache N] [-timeout 5m]
 //
 // Datasets: region1..region4, full-old, full-new, internet2.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/expresso-verify/expresso"
 	"github.com/expresso-verify/expresso/internal/epvp"
 	"github.com/expresso-verify/expresso/internal/netgen"
 	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/service"
 	"github.com/expresso-verify/expresso/internal/symbolic"
 )
 
@@ -38,13 +48,15 @@ func main() {
 		cmdGen(os.Args[2:])
 	case "search-policy":
 		cmdSearchPolicy(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: expresso check|stats|gen|search-policy [flags]")
+	fmt.Fprintln(os.Stderr, "usage: expresso check|stats|gen|search-policy|serve [flags]")
 	os.Exit(2)
 }
 
@@ -85,6 +97,7 @@ func cmdCheck(args []string) {
 	bte := fs.String("bte", "", "community for the bte property, e.g. 11537:888")
 	minus := fs.Bool("minus", false, "run Expresso- (concrete AS paths)")
 	verbose := fs.Bool("v", false, "print every violation")
+	asJSON := fs.Bool("json", false, "print the report as JSON instead of the table")
 	fs.Parse(args)
 
 	net := loadNetwork(*file, *dir)
@@ -93,23 +106,14 @@ func cmdCheck(args []string) {
 		opts.Mode = expresso.ExpressoMinusMode()
 	}
 	for _, p := range strings.Split(*props, ",") {
-		switch strings.TrimSpace(p) {
-		case "leak":
-			opts.Properties = append(opts.Properties, expresso.RouteLeakFree)
-		case "hijack":
-			opts.Properties = append(opts.Properties, expresso.RouteHijackFree)
-		case "traffic":
-			opts.Properties = append(opts.Properties, expresso.TrafficHijackFree)
-		case "blackhole":
-			opts.Properties = append(opts.Properties, expresso.BlackHoleFree)
-		case "loop":
-			opts.Properties = append(opts.Properties, expresso.LoopFree)
-		case "bte":
-			opts.Properties = append(opts.Properties, expresso.BlockToExternal)
-		case "":
-		default:
-			fatalf("unknown property %q", p)
+		if strings.TrimSpace(p) == "" {
+			continue
 		}
+		k, err := expresso.ParseProperty(p)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts.Properties = append(opts.Properties, k)
 	}
 	if *bte != "" {
 		c, err := route.ParseCommunity(*bte)
@@ -122,6 +126,17 @@ func cmdCheck(args []string) {
 	rep, err := net.Verify(opts)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(out))
+		if len(rep.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 	s := rep.Stats
 	fmt.Printf("network: %d nodes, %d links, %d peers, %d prefixes, %d config lines\n",
@@ -204,6 +219,56 @@ func cmdSearchPolicy(args []string) {
 				fmt.Printf("  prepends %d AS hop(s)\n", r.Prepends)
 			}
 		}
+	}
+}
+
+// cmdServe runs the long-lived verification daemon: an HTTP+JSON API over
+// a bounded worker pool with a digest-keyed result cache. SIGTERM/SIGINT
+// trigger a graceful drain: stop accepting, finish queued and running
+// jobs, then exit.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue", 64, "job queue depth")
+	cacheSize := fs.Int("cache", 128, "result cache capacity in reports (-1 disables)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
+	drainWait := fs.Duration("drain", 30*time.Second, "max graceful drain time on SIGTERM")
+	fs.Parse(args)
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		JobTimeout: *timeout,
+	})
+	srv.Start()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	log.Printf("expresso serve: listening on %s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), srv.Workers(), *queueDepth, *cacheSize)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("expresso serve: %v received, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("expresso serve: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("expresso serve: drained cleanly")
+	case err := <-errCh:
+		fatalf("%v", err)
 	}
 }
 

@@ -19,8 +19,11 @@
 package expresso
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"github.com/expresso-verify/expresso/internal/config"
@@ -77,13 +80,50 @@ type Options struct {
 }
 
 func (o *Options) normalize() {
-	zero := Mode{}
-	if o.Mode == zero {
+	if o.Mode.IsZero() {
 		o.Mode = FullMode()
 	}
 	if len(o.Properties) == 0 {
 		o.Properties = []Kind{RouteLeakFree, RouteHijackFree, TrafficHijackFree}
 	}
+}
+
+// CacheKey renders the normalized options deterministically (mode flags,
+// sorted property set, BTE community). Two Options values with the same key
+// request the same verification, so services may key result caches on it
+// together with a digest of the configuration text.
+func (o Options) CacheKey() string {
+	o.Properties = append([]Kind(nil), o.Properties...)
+	o.normalize()
+	props := make([]string, len(o.Properties))
+	for i, p := range o.Properties {
+		props[i] = string(p)
+	}
+	sort.Strings(props)
+	return fmt.Sprintf("mode=%+v|props=%s|bte=%d", o.Mode, strings.Join(props, ","), o.BTE)
+}
+
+// ParseProperty maps a property name to its Kind. It accepts both the short
+// CLI names (leak, hijack, traffic, blackhole, loop, bte, egress) and the
+// canonical kind strings (RouteLeakFree, ...).
+func ParseProperty(name string) (Kind, error) {
+	switch strings.TrimSpace(name) {
+	case "leak", string(RouteLeakFree):
+		return RouteLeakFree, nil
+	case "hijack", string(RouteHijackFree):
+		return RouteHijackFree, nil
+	case "traffic", string(TrafficHijackFree):
+		return TrafficHijackFree, nil
+	case "blackhole", string(BlackHoleFree):
+		return BlackHoleFree, nil
+	case "loop", string(LoopFree):
+		return LoopFree, nil
+	case "bte", string(BlockToExternal):
+		return BlockToExternal, nil
+	case "egress", string(EgressPreference):
+		return EgressPreference, nil
+	}
+	return "", fmt.Errorf("expresso: unknown property %q", name)
 }
 
 func (o *Options) wants(k Kind) bool {
@@ -96,11 +136,12 @@ func (o *Options) wants(k Kind) bool {
 }
 
 // Timing records per-stage wall-clock durations (Table 3's columns).
+// Durations marshal as integer nanoseconds.
 type Timing struct {
-	SRC                time.Duration
-	RoutingAnalysis    time.Duration
-	SPF                time.Duration
-	ForwardingAnalysis time.Duration
+	SRC                time.Duration `json:"src_ns"`
+	RoutingAnalysis    time.Duration `json:"routing_analysis_ns"`
+	SPF                time.Duration `json:"spf_ns"`
+	ForwardingAnalysis time.Duration `json:"forwarding_analysis_ns"`
 }
 
 // Total sums the stages.
@@ -111,23 +152,23 @@ func (t Timing) Total() time.Duration {
 // Report is the outcome of a verification run.
 type Report struct {
 	// Stats summarizes the analyzed network (Table 1's columns).
-	Stats topology.Stats
+	Stats topology.Stats `json:"stats"`
 	// Violations lists every property violation found.
-	Violations []Violation
+	Violations []Violation `json:"violations,omitempty"`
 	// Timing holds per-stage durations.
-	Timing Timing
+	Timing Timing `json:"timing"`
 	// HeapBytes is the live heap after the run (Figure 8's metric).
-	HeapBytes uint64
+	HeapBytes uint64 `json:"heap_bytes"`
 	// Converged reports whether EPVP reached its fixed point.
-	Converged bool
+	Converged bool `json:"converged"`
 	// Iterations counts EPVP rounds.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// RIBRoutes is the total number of symbolic routes across internal
 	// RIBs.
-	RIBRoutes int
+	RIBRoutes int `json:"rib_routes"`
 	// PECs is the number of packet equivalence classes computed (0 when no
 	// forwarding property was requested).
-	PECs int
+	PECs int `json:"pecs"`
 }
 
 // CountByKind tallies violations per property.
@@ -163,6 +204,9 @@ func LoadDir(dir string) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("expresso: no router definitions in any *.cfg file under %s", dir)
+	}
 	topo, err := topology.Build(devices)
 	if err != nil {
 		return nil, err
@@ -172,13 +216,24 @@ func LoadDir(dir string) (*Network, error) {
 
 // Verify runs the requested property checks and returns the report.
 func (n *Network) Verify(opts Options) (*Report, error) {
+	return n.VerifyContext(context.Background(), opts)
+}
+
+// VerifyContext is Verify with cancellation: the context is checked inside
+// the EPVP fixed-point iteration and the SPF traversal, so a cancelled or
+// expired context aborts the run promptly and returns ctx.Err() instead of
+// finishing minutes of symbolic simulation nobody is waiting for.
+func (n *Network) VerifyContext(ctx context.Context, opts Options) (*Report, error) {
 	opts.normalize()
 	rep := &Report{Stats: n.Topo.Statistics()}
 
 	// Stage 1: symbolic route computation.
 	start := time.Now()
 	eng := epvp.New(n.Topo, opts.Mode)
-	cp := eng.Run()
+	cp, err := eng.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rep.Timing.SRC = time.Since(start)
 	rep.Converged = cp.Converged
 	rep.Iterations = cp.Iterations
@@ -193,6 +248,9 @@ func (n *Network) Verify(opts Options) (*Report, error) {
 
 	// Stage 1b: routing-property analysis.
 	start = time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.wants(RouteLeakFree) {
 		rep.Violations = append(rep.Violations, properties.CheckRouteLeak(eng, cp)...)
 	}
@@ -212,11 +270,17 @@ func (n *Network) Verify(opts Options) (*Report, error) {
 	needSPF := opts.wants(TrafficHijackFree) || opts.wants(BlackHoleFree) || opts.wants(LoopFree)
 	if needSPF {
 		start = time.Now()
-		dp := spf.Run(eng, cp)
+		dp, err := spf.RunContext(ctx, eng, cp)
+		if err != nil {
+			return nil, err
+		}
 		rep.Timing.SPF = time.Since(start)
 		rep.PECs = len(dp.PECs)
 
 		start = time.Now()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if opts.wants(TrafficHijackFree) {
 			rep.Violations = append(rep.Violations, properties.CheckTrafficHijack(eng, dp)...)
 		}

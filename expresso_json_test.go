@@ -1,0 +1,145 @@
+package expresso
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/testnet"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+// TestReportJSONRoundTrip checks that Report, Timing, and Violation
+// marshal to stable JSON and decode back to an equal value.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Stats: topology.Stats{Nodes: 3, Links: 2, Peers: 4, Prefixes: 5, ConfigLines: 42},
+		Violations: []Violation{{
+			Kind:        RouteLeakFree,
+			Node:        "ISP2",
+			Detail:      "route originated by ISP1 reaches ISP2",
+			Cond:        7,
+			Prefix:      route.MustParsePrefix("128.0.0.0/2"),
+			Path:        []string{"ISP1", "PR1", "PR2", "ISP2"},
+			Originators: []string{"ISP1"},
+		}},
+		Timing: Timing{
+			SRC:                123 * time.Millisecond,
+			RoutingAnalysis:    4 * time.Millisecond,
+			SPF:                56 * time.Millisecond,
+			ForwardingAnalysis: 7 * time.Millisecond,
+		},
+		HeapBytes:  1 << 20,
+		Converged:  true,
+		Iterations: 5,
+		RIBRoutes:  17,
+		PECs:       9,
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(rep, &back) {
+		t.Errorf("round trip changed the report:\nbefore %+v\nafter  %+v", rep, &back)
+	}
+	// The wire names are a stable machine contract shared by the service
+	// and the CLI's -json output.
+	for _, key := range []string{
+		`"stats"`, `"nodes"`, `"config_lines"`,
+		`"violations"`, `"kind"`, `"node"`, `"detail"`, `"cond"`, `"prefix"`, `"addr"`, `"len"`,
+		`"path"`, `"originators"`,
+		`"timing"`, `"src_ns"`, `"routing_analysis_ns"`, `"spf_ns"`, `"forwarding_analysis_ns"`,
+		`"heap_bytes"`, `"converged"`, `"iterations"`, `"rib_routes"`, `"pecs"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing field %s:\n%s", key, data)
+		}
+	}
+}
+
+// TestRealReportJSON runs Figure 4 and round-trips the resulting report.
+func TestRealReportJSON(t *testing.T) {
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{Properties: []Kind{RouteLeakFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.CountByKind()[RouteLeakFree] != 1 {
+		t.Errorf("decoded report lost the leak violation: %s", data)
+	}
+	if back.Timing.SRC != rep.Timing.SRC || back.Iterations != rep.Iterations {
+		t.Error("decoded report changed timing or iteration fields")
+	}
+}
+
+// TestVerifyContextCancelled checks an already-cancelled context aborts
+// verification with ctx.Err before any stage runs.
+func TestVerifyContextCancelled(t *testing.T) {
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := net.VerifyContext(ctx, Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Error("cancelled verification must not return a report")
+	}
+}
+
+// TestVerifyContextDeadline checks an expired deadline surfaces as
+// DeadlineExceeded from inside the pipeline.
+func TestVerifyContextDeadline(t *testing.T) {
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := net.VerifyContext(ctx, Options{}); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestOptionsCacheKeyNormalizes checks CacheKey is spelling-insensitive.
+func TestOptionsCacheKeyNormalizes(t *testing.T) {
+	a := Options{}.CacheKey()
+	b := Options{
+		Mode:       FullMode(),
+		Properties: []Kind{TrafficHijackFree, RouteLeakFree, RouteHijackFree},
+	}.CacheKey()
+	if a != b {
+		t.Errorf("default and explicit spellings differ:\n%s\n%s", a, b)
+	}
+	if minus := (Options{Mode: ExpressoMinusMode()}).CacheKey(); minus == a {
+		t.Error("Expresso- must key differently")
+	}
+	// CacheKey must not mutate the caller's Properties slice order.
+	props := []Kind{TrafficHijackFree, RouteLeakFree}
+	_ = (Options{Properties: props}).CacheKey()
+	if props[0] != TrafficHijackFree {
+		t.Error("CacheKey mutated the caller's Properties slice")
+	}
+}

@@ -1,0 +1,80 @@
+package expresso
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func TestLoadMalformedConfig(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"statement before router", "bgp as 5\n", "before any 'router'"},
+		{"empty text", "", "no 'router' sections"},
+		{"comments only", "// nothing here\n# nor here\n", "no 'router' sections"},
+		{"bad prefix", "router A\nbgp network 999.0.0.0/8\n", "config:"},
+	}
+	for _, tc := range cases {
+		net, err := Load(tc.text)
+		if err == nil {
+			t.Errorf("%s: Load succeeded (%v), want error", tc.name, net)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err %q does not contain %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestLoadDirNonexistent(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "does-not-exist")); err == nil {
+		t.Fatal("LoadDir on a nonexistent directory succeeded")
+	}
+}
+
+func TestLoadDirNoConfigs(t *testing.T) {
+	dir := t.TempDir()
+	// An unrelated file must not count as a configuration.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("router A\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("LoadDir on a directory without *.cfg files succeeded")
+	}
+	if !strings.Contains(err.Error(), "no router definitions") {
+		t.Errorf("err %q does not explain the empty directory", err)
+	}
+}
+
+func TestLoadDirMalformedFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.cfg"), []byte("bgp as 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("LoadDir with a malformed *.cfg succeeded")
+	}
+	if !strings.Contains(err.Error(), "bad.cfg") {
+		t.Errorf("err %q does not name the offending file", err)
+	}
+}
+
+func TestLoadDirValid(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "net.cfg"), []byte(testnet.Figure4Fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	net, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if got := net.Topo.Statistics().Nodes; got != 2 {
+		t.Errorf("nodes = %d, want 2", got)
+	}
+}

@@ -10,6 +10,7 @@
 package epvp
 
 import (
+	"context"
 	"sort"
 
 	"github.com/expresso-verify/expresso/internal/automaton"
@@ -38,6 +39,11 @@ type Mode struct {
 func FullMode() Mode {
 	return Mode{TrafficPolicies: true, SymbolicCommunities: true, SymbolicASPaths: true}
 }
+
+// IsZero reports whether the Mode is the zero value, which callers treat as
+// "use FullMode". Keep this next to the field list: if a field is added,
+// this comparison (and the zero-means-default contract) must be revisited.
+func (m Mode) IsZero() bool { return m == Mode{} }
 
 // Engine runs EPVP over a network.
 type Engine struct {
@@ -289,6 +295,15 @@ func (e *Engine) edgeTransfer(u, v string, r *symbolic.Route) []*symbolic.Route 
 
 // Run executes EPVP to its fixed point.
 func (e *Engine) Run() *Result {
+	res, _ := e.RunContext(context.Background())
+	return res
+}
+
+// RunContext executes EPVP to its fixed point, checking ctx between router
+// recomputations so a cancelled or expired context stops the iteration
+// promptly (well before convergence on large networks). On cancellation it
+// returns a nil Result and ctx.Err().
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	best := map[string][]*symbolic.Route{}
 	for _, name := range e.Net.Internals {
 		var init []*symbolic.Route
@@ -323,6 +338,9 @@ func (e *Engine) Run() *Result {
 		next := map[string][]*symbolic.Route{}
 		changedNow := map[string]bool{}
 		for _, v := range e.Net.Internals {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			needs := iter == 0
 			if !needs {
 				for _, u := range e.Net.Neighbors(v) {
@@ -341,6 +359,9 @@ func (e *Engine) Run() *Result {
 				candidates = append(candidates, r)
 			}
 			for _, u := range e.Net.Neighbors(v) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				if e.Net.IsInternal(u) {
 					for _, r := range best[u] {
 						candidates = append(candidates, e.edgeTransfer(u, v, r)...)
@@ -377,6 +398,9 @@ func (e *Engine) Run() *Result {
 
 	// Routes exported to each external neighbor (their received RIB).
 	for _, ext := range e.Net.Externals {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var recv []*symbolic.Route
 		for _, u := range e.Net.Neighbors(ext) {
 			for _, r := range best[u] {
@@ -402,7 +426,7 @@ func (e *Engine) Run() *Result {
 		}
 		res.ExternalRIB[ext] = sortStable(kept)
 	}
-	return res
+	return res, nil
 }
 
 func sortStable(rs []*symbolic.Route) []*symbolic.Route {

@@ -1,0 +1,59 @@
+package epvp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+// TestModeIsZero pins the zero-means-FullMode contract: the zero value is
+// the only IsZero Mode, and setting any single field makes it non-zero.
+// If a field is added to Mode without revisiting IsZero, the reflection
+// sweep below fails rather than silently disabling the FullMode upgrade.
+func TestModeIsZero(t *testing.T) {
+	if !(Mode{}).IsZero() {
+		t.Error("zero Mode must report IsZero")
+	}
+	if FullMode().IsZero() {
+		t.Error("FullMode must not report IsZero")
+	}
+	// Flip each field of the zero value in turn; every variant must be
+	// non-zero, whatever fields Mode grows.
+	typ := reflect.TypeOf(Mode{})
+	for i := 0; i < typ.NumField(); i++ {
+		v := reflect.New(typ).Elem()
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(1)
+		case reflect.String:
+			f.SetString("x")
+		default:
+			t.Fatalf("Mode field %s has kind %s: extend IsZero and this test", typ.Field(i).Name, f.Kind())
+		}
+		m := v.Interface().(Mode)
+		if m.IsZero() {
+			t.Errorf("Mode with %s set reports IsZero; the FullMode upgrade would wrongly fire", typ.Field(i).Name)
+		}
+	}
+}
+
+// TestRunContextCancelled checks the engine aborts with ctx.Err.
+func TestRunContextCancelled(t *testing.T) {
+	eng := New(mustNet(t, testnet.Figure4), FullMode())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.RunContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run must not return a result")
+	}
+}

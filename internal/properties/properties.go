@@ -32,24 +32,25 @@ const (
 
 // Violation is one property violation with its witness.
 type Violation struct {
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// Node is where the violation manifests (the receiving external
 	// neighbor, the internal router, or the PEC start).
-	Node string
+	Node string `json:"node"`
 	// Detail is a human-readable description.
-	Detail string
+	Detail string `json:"detail"`
 	// Cond is the advertiser condition under which the violation occurs
 	// (control-plane variables for routing properties, data-plane variables
 	// for forwarding properties). Conditions of merged duplicate findings
-	// are unioned.
-	Cond bdd.Node
+	// are unioned. The value is a BDD handle, only meaningful within the
+	// process that produced it.
+	Cond bdd.Node `json:"cond"`
 	// Prefix is a witness prefix when one is known.
-	Prefix route.Prefix
+	Prefix route.Prefix `json:"prefix"`
 	// Path is the propagation or forwarding path of the witness.
-	Path []string
+	Path []string `json:"path,omitempty"`
 	// Originators lists the external neighbors whose routes can trigger
 	// the violation (aggregated across merged findings).
-	Originators []string
+	Originators []string `json:"originators,omitempty"`
 }
 
 func (v Violation) String() string {

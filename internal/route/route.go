@@ -14,8 +14,8 @@ import (
 // Prefix is an IPv4 prefix: the high Len bits of Addr are significant, the
 // rest must be zero.
 type Prefix struct {
-	Addr uint32
-	Len  uint8
+	Addr uint32 `json:"addr"`
+	Len  uint8  `json:"len"`
 }
 
 // ParsePrefix parses dotted-quad/len notation, e.g. "10.1.0.0/16".

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/expresso-verify/expresso"
+)
+
+// Cache is a bounded LRU result cache keyed by verification digest (see
+// Digest). Cached Reports are shared between requests and must be treated
+// as immutable by callers.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key    string
+	report *expresso.Report
+}
+
+// NewCache builds an LRU cache holding up to capacity reports. A
+// non-positive capacity disables caching (every Get misses, Add is a
+// no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached report for key, marking it most recently used.
+func (c *Cache) Get(key string) (*expresso.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// Add inserts or refreshes the report for key, evicting the least recently
+// used entry when the cache is full.
+func (c *Cache) Add(key string, report *expresso.Report) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).report = report
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, report: report})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

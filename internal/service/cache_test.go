@@ -1,0 +1,51 @@
+package service
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	a, b, d := &expresso.Report{Iterations: 1}, &expresso.Report{Iterations: 2}, &expresso.Report{Iterations: 3}
+	c.Add("a", a)
+	c.Add("b", b)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("d", d) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if got, ok := c.Get("a"); !ok || got != a {
+		t.Error("a should have survived eviction")
+	}
+	if got, ok := c.Get("d"); !ok || got != d {
+		t.Error("d should be cached")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheRefreshExisting(t *testing.T) {
+	c := NewCache(2)
+	r1, r2 := &expresso.Report{Iterations: 1}, &expresso.Report{Iterations: 2}
+	c.Add("k", r1)
+	c.Add("k", r2)
+	if got, _ := c.Get("k"); got != r2 {
+		t.Error("Add should refresh the stored report")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Add("k", &expresso.Report{})
+	if _, ok := c.Get("k"); ok {
+		t.Error("disabled cache must not store")
+	}
+}

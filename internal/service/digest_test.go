@@ -1,0 +1,46 @@
+package service
+
+import (
+	"testing"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+func TestCanonicalConfigStripsNoise(t *testing.T) {
+	a := "router R1\nbgp as 100\n"
+	b := "// header comment\n\nrouter   R1   # trailing comment\r\nbgp  as  100\n\n"
+	if CanonicalConfig(a) != CanonicalConfig(b) {
+		t.Errorf("canonical forms differ:\n%q\n%q", CanonicalConfig(a), CanonicalConfig(b))
+	}
+	if CanonicalConfig("router R1\n") == CanonicalConfig("router R2\n") {
+		t.Error("distinct configs canonicalized to the same text")
+	}
+}
+
+func TestDigestNormalizesOptions(t *testing.T) {
+	cfg := testnet.Figure4
+	// The zero Mode means FullMode; the default property set is the §7.1
+	// trio. All three spellings must share a digest.
+	dflt := Digest(cfg, expresso.Options{})
+	explicit := Digest(cfg, expresso.Options{
+		Mode: expresso.FullMode(),
+		Properties: []expresso.Kind{
+			expresso.TrafficHijackFree, expresso.RouteLeakFree, expresso.RouteHijackFree,
+		},
+	})
+	if dflt != explicit {
+		t.Error("normalized options should digest equally regardless of spelling/order")
+	}
+	minus := Digest(cfg, expresso.Options{Mode: expresso.ExpressoMinusMode()})
+	if minus == dflt {
+		t.Error("Expresso- must digest differently from full mode")
+	}
+	leakOnly := Digest(cfg, expresso.Options{Properties: []expresso.Kind{expresso.RouteLeakFree}})
+	if leakOnly == dflt {
+		t.Error("different property sets must digest differently")
+	}
+	if Digest("router R1\n", expresso.Options{}) == Digest("router R2\n", expresso.Options{}) {
+		t.Error("different configs must digest differently")
+	}
+}

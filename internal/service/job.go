@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/expresso-verify/expresso"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one verification request tracked by the server.
+type Job struct {
+	// ID is the server-assigned job identifier.
+	ID string
+	// Digest is the cache key of the request (config text + options).
+	Digest string
+
+	configText string
+	opts       expresso.Options
+	timeout    time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	report   *expresso.Report
+	errMsg   string
+	cacheHit bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Cancel requests cancellation: a queued job is skipped, a running job's
+// context fires inside the EPVP/SPF loops.
+func (j *Job) Cancel() { j.cancel() }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Report returns the verification report, nil until the job is done.
+func (j *Job) Report() *expresso.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+func (j *Job) setRunning(now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = JobRunning
+	j.started = now
+}
+
+// finish moves the job to a terminal state exactly once; later calls are
+// ignored (a job cancelled between finish and close would otherwise race).
+func (j *Job) finish(state JobState, report *expresso.Report, errMsg string, now time.Time) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.report = report
+	j.errMsg = errMsg
+	j.finished = now
+	j.mu.Unlock()
+	close(j.done)
+	j.cancel() // release the job's context from the server's base context
+}
+
+// JobStatus is the JSON view of a job returned by the API.
+type JobStatus struct {
+	ID       string           `json:"id"`
+	State    JobState         `json:"state"`
+	Digest   string           `json:"digest"`
+	CacheHit bool             `json:"cache_hit"`
+	Error    string           `json:"error,omitempty"`
+	Report   *expresso.Report `json:"report,omitempty"`
+	Created  time.Time        `json:"created"`
+	Started  *time.Time       `json:"started,omitempty"`
+	Finished *time.Time       `json:"finished,omitempty"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:       j.ID,
+		State:    j.state,
+		Digest:   j.Digest,
+		CacheHit: j.cacheHit,
+		Error:    j.errMsg,
+		Created:  j.created,
+	}
+	if j.state.Terminal() {
+		st.Report = j.report
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}

@@ -1,0 +1,103 @@
+// Package service implements the long-running Expresso verification
+// daemon: an HTTP+JSON API over a bounded worker pool with a FIFO job
+// queue, per-job deadlines, a digest-keyed LRU result cache, and graceful
+// drain. It turns the one-shot CLI pipeline (Load → VerifyContext) into a
+// serving layer that amortizes repeated verifications and bounds each
+// request's cost.
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/expresso-verify/expresso"
+)
+
+// Metrics holds the service counters exposed on /metrics. All fields are
+// safe for concurrent use.
+type Metrics struct {
+	// JobsAccepted counts verification requests admitted (enqueued or
+	// answered from cache).
+	JobsAccepted atomic.Int64
+	// JobsCompleted counts jobs that ran to a successful Report.
+	JobsCompleted atomic.Int64
+	// JobsFailed counts jobs whose verification returned a
+	// non-cancellation error (e.g. a config parse error).
+	JobsFailed atomic.Int64
+	// JobsCancelled counts jobs stopped by cancellation or deadline.
+	JobsCancelled atomic.Int64
+	// JobsRejected counts submissions refused because the queue was full
+	// or the server was draining.
+	JobsRejected atomic.Int64
+	// CacheHits / CacheMisses count result-cache lookups at submit time.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// EngineRuns counts verifications that actually entered the EPVP
+	// engine (i.e. were not answered from cache). The cache test asserts
+	// on this.
+	EngineRuns atomic.Int64
+
+	mu         sync.Mutex
+	stageNanos [4]int64 // SRC, routing analysis, SPF, forwarding analysis
+	stageJobs  int64
+}
+
+// ObserveTiming accumulates one completed job's per-stage durations.
+func (m *Metrics) ObserveTiming(t expresso.Timing) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stageNanos[0] += int64(t.SRC)
+	m.stageNanos[1] += int64(t.RoutingAnalysis)
+	m.stageNanos[2] += int64(t.SPF)
+	m.stageNanos[3] += int64(t.ForwardingAnalysis)
+	m.stageJobs++
+}
+
+// StageTotals returns the accumulated per-stage durations and the number
+// of jobs they aggregate.
+func (m *Metrics) StageTotals() (expresso.Timing, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return expresso.Timing{
+		SRC:                time.Duration(m.stageNanos[0]),
+		RoutingAnalysis:    time.Duration(m.stageNanos[1]),
+		SPF:                time.Duration(m.stageNanos[2]),
+		ForwardingAnalysis: time.Duration(m.stageNanos[3]),
+	}, m.stageJobs
+}
+
+// WriteText renders the counters in Prometheus text exposition format.
+// queueDepth and workers are point-in-time gauges supplied by the server.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, workers int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("expresso_jobs_accepted_total", "Verification requests admitted.", m.JobsAccepted.Load())
+	counter("expresso_jobs_completed_total", "Jobs finished with a report.", m.JobsCompleted.Load())
+	counter("expresso_jobs_failed_total", "Jobs finished with an error.", m.JobsFailed.Load())
+	counter("expresso_jobs_cancelled_total", "Jobs stopped by cancellation or deadline.", m.JobsCancelled.Load())
+	counter("expresso_jobs_rejected_total", "Submissions refused (queue full or draining).", m.JobsRejected.Load())
+	counter("expresso_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
+	counter("expresso_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
+	counter("expresso_engine_runs_total", "Verifications that entered the EPVP engine.", m.EngineRuns.Load())
+	gauge("expresso_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth))
+	gauge("expresso_workers", "Size of the worker pool.", int64(workers))
+
+	totals, jobs := m.StageTotals()
+	stage := func(name string, d time.Duration) {
+		full := "expresso_stage_" + name + "_seconds_total"
+		fmt.Fprintf(w, "# HELP %s Cumulative %s stage time.\n# TYPE %s counter\n%s %.6f\n",
+			full, name, full, full, d.Seconds())
+	}
+	stage("src", totals.SRC)
+	stage("routing_analysis", totals.RoutingAnalysis)
+	stage("spf", totals.SPF)
+	stage("forwarding_analysis", totals.ForwardingAnalysis)
+	counter("expresso_stage_jobs_total", "Jobs aggregated into the stage timings.", jobs)
+}

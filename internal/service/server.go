@@ -1,0 +1,429 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/route"
+)
+
+// Config tunes the verification server. The zero value is usable: every
+// field falls back to the documented default.
+type Config struct {
+	// Workers is the size of the worker pool (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO job queue; submissions beyond it are
+	// rejected with 503 (default: 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in reports (default:
+	// 128; negative disables caching).
+	CacheSize int
+	// JobTimeout is the default per-job deadline, measured from the
+	// moment a worker picks the job up (default: 5m; negative disables).
+	JobTimeout time.Duration
+	// MaxBodyBytes bounds the request body (default: 16 MiB).
+	MaxBodyBytes int64
+	// MaxJobs bounds the in-memory job registry; the oldest finished
+	// jobs are evicted beyond it (default: 1024).
+	MaxJobs int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+}
+
+// ErrQueueFull is returned by Submit when the FIFO queue is at capacity.
+var ErrQueueFull = errors.New("service: job queue is full")
+
+// ErrDraining is returned by Submit after Drain has begun.
+var ErrDraining = errors.New("service: server is draining")
+
+// Server is the verification daemon: a bounded worker pool consuming a
+// FIFO job queue, fronted by a digest-keyed LRU result cache.
+type Server struct {
+	cfg     Config
+	Metrics *Metrics
+	cache   *Cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	queue    chan *Job
+	jobs     map[string]*Job
+	jobOrder []string // creation order, for registry eviction
+
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+
+	// runVerify performs one verification; tests may substitute it.
+	runVerify func(ctx context.Context, configText string, opts expresso.Options) (*expresso.Report, error)
+}
+
+// New builds a server. Call Start to launch the worker pool.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		Metrics:    &Metrics{},
+		cache:      NewCache(cfg.CacheSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       map[string]*Job{},
+		runVerify:  runVerify,
+	}
+}
+
+func runVerify(ctx context.Context, configText string, opts expresso.Options) (*expresso.Report, error) {
+	net, err := expresso.Load(configText)
+	if err != nil {
+		return nil, err
+	}
+	return net.VerifyContext(ctx, opts)
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+}
+
+// Drain stops accepting submissions, lets queued and running jobs finish,
+// and waits for the pool to exit. If ctx expires first, in-flight jobs are
+// cancelled and the remaining wait continues until they unwind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // force-cancel in-flight jobs, then wait them out
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// Submit admits a verification request: it answers from the cache when the
+// digest matches a completed run, otherwise enqueues a job for the worker
+// pool. The returned bool reports a cache hit. timeout <= 0 uses the
+// server default.
+func (s *Server) Submit(configText string, opts expresso.Options, timeout time.Duration) (*Job, bool, error) {
+	digest := Digest(configText, opts)
+	now := time.Now()
+	job := &Job{
+		ID:         fmt.Sprintf("j-%06d", s.nextID.Add(1)),
+		Digest:     digest,
+		configText: configText,
+		opts:       opts,
+		timeout:    timeout,
+		done:       make(chan struct{}),
+		state:      JobQueued,
+		created:    now,
+	}
+	if job.timeout <= 0 {
+		job.timeout = s.cfg.JobTimeout
+	}
+	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
+
+	if rep, ok := s.cache.Get(digest); ok {
+		s.Metrics.JobsAccepted.Add(1)
+		s.Metrics.CacheHits.Add(1)
+		job.cacheHit = true
+		job.finish(JobDone, rep, "", now)
+		s.register(job)
+		return job, true, nil
+	}
+	s.Metrics.CacheMisses.Add(1)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.Metrics.JobsRejected.Add(1)
+		return nil, false, ErrDraining
+	}
+	select {
+	case s.queue <- job:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.Metrics.JobsRejected.Add(1)
+		return nil, false, ErrQueueFull
+	}
+	s.Metrics.JobsAccepted.Add(1)
+	s.register(job)
+	return job, false, nil
+}
+
+// register tracks the job for /v1/jobs lookups, evicting the oldest
+// finished jobs beyond the registry cap.
+func (s *Server) register(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[job.ID] = job
+	s.jobOrder = append(s.jobOrder, job.ID)
+	if len(s.jobOrder) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.jobOrder[:0]
+	excess := len(s.jobOrder) - s.cfg.MaxJobs
+	for _, id := range s.jobOrder {
+		if excess > 0 && s.jobs[id].State().Terminal() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.jobOrder = kept
+}
+
+// Job returns a tracked job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Workers reports the resolved worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// QueueDepth reports the number of queued jobs (a point-in-time gauge).
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0
+	}
+	return len(s.queue)
+}
+
+func (s *Server) runJob(job *Job) {
+	if job.ctx.Err() != nil { // cancelled while queued
+		s.Metrics.JobsCancelled.Add(1)
+		job.finish(JobCancelled, nil, job.ctx.Err().Error(), time.Now())
+		return
+	}
+	job.setRunning(time.Now())
+	ctx := job.ctx
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		defer cancel()
+	}
+	s.Metrics.EngineRuns.Add(1)
+	rep, err := s.runVerify(ctx, job.configText, job.opts)
+	now := time.Now()
+	switch {
+	case err == nil:
+		s.cache.Add(job.Digest, rep)
+		s.Metrics.JobsCompleted.Add(1)
+		s.Metrics.ObserveTiming(rep.Timing)
+		job.finish(JobDone, rep, "", now)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.Metrics.JobsCancelled.Add(1)
+		job.finish(JobCancelled, nil, err.Error(), now)
+	default:
+		s.Metrics.JobsFailed.Add(1)
+		job.finish(JobFailed, nil, err.Error(), now)
+	}
+}
+
+// VerifyRequest is the POST /v1/verify body.
+type VerifyRequest struct {
+	// Config is the multi-router configuration text (required).
+	Config string `json:"config"`
+	// Properties selects checks by name (leak, hijack, traffic,
+	// blackhole, loop, bte); empty means the default §7.1 set.
+	Properties []string `json:"properties,omitempty"`
+	// Mode is "" or "full" for full Expresso, "minus" for Expresso-.
+	Mode string `json:"mode,omitempty"`
+	// BTE is the community for the bte property, e.g. "11537:888".
+	BTE string `json:"bte,omitempty"`
+	// TimeoutMS overrides the server's per-job deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Wait blocks the request until the job finishes and returns the
+	// final status (cancelling the job if the client disconnects).
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Options translates the request into verification options.
+func (r *VerifyRequest) Options() (expresso.Options, error) {
+	var opts expresso.Options
+	switch r.Mode {
+	case "", "full":
+	case "minus":
+		opts.Mode = expresso.ExpressoMinusMode()
+	default:
+		return opts, fmt.Errorf("unknown mode %q (want \"full\" or \"minus\")", r.Mode)
+	}
+	for _, name := range r.Properties {
+		k, err := expresso.ParseProperty(name)
+		if err != nil {
+			return opts, err
+		}
+		opts.Properties = append(opts.Properties, k)
+	}
+	if r.BTE != "" {
+		c, err := route.ParseCommunity(r.BTE)
+		if err != nil {
+			return opts, err
+		}
+		opts.BTE = c
+	}
+	return opts, nil
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/verify    submit a verification (cache-aware)
+//	GET    /v1/jobs/{id} job status and report
+//	DELETE /v1/jobs/{id} cancel a job
+//	GET    /healthz      liveness (503 while draining)
+//	GET    /metrics      Prometheus-style counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req VerifyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Config == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{"missing \"config\""})
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	job, hit, err := s.Submit(req.Config, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
+	switch {
+	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		return
+	}
+	if hit {
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	if req.Wait {
+		select {
+		case <-job.Done():
+			writeJSON(w, http.StatusOK, job.Status())
+		case <-r.Context().Done():
+			// The client left; stop the symbolic simulation promptly.
+			job.Cancel()
+			<-job.Done()
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job"})
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers)
+}

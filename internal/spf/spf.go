@@ -6,6 +6,7 @@
 package spf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -91,6 +92,7 @@ type Result struct {
 	DataVarsPerNeighbor map[string]int
 
 	eng      *epvp.Engine
+	ctx      context.Context
 	varBase  int
 	varsUsed map[int]bool // data-plane variables actually referenced
 
@@ -108,10 +110,20 @@ type convEntry struct {
 
 // Run executes symbolic packet forwarding over an EPVP result.
 func Run(eng *epvp.Engine, cp *epvp.Result) *Result {
+	r, _ := RunContext(context.Background(), eng, cp)
+	return r
+}
+
+// RunContext executes symbolic packet forwarding, checking ctx between FIB
+// compilations and between packet-traversal steps so a cancelled or expired
+// context aborts the stage promptly. On cancellation it returns a nil
+// Result and ctx.Err().
+func RunContext(ctx context.Context, eng *epvp.Engine, cp *epvp.Result) (*Result, error) {
 	r := &Result{
 		FIBs:                map[string]*FIB{},
 		DataVarsPerNeighbor: map[string]int{},
 		eng:                 eng,
+		ctx:                 ctx,
 		varsUsed:            map[int]bool{},
 		convCache:           map[bdd.Node][]convEntry{},
 	}
@@ -123,14 +135,20 @@ func Run(eng *epvp.Engine, cp *epvp.Result) *Result {
 	n := len(eng.Net.Externals)
 	r.varBase = eng.Space.M.AddVars(33 * n)
 	for _, v := range eng.Net.Internals {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r.FIBs[v] = r.buildFIB(v, cp.Best[v])
 	}
 	r.forwardAll()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for v := range r.varsUsed {
 		i := (v - r.varBase) % n
 		r.DataVarsPerNeighbor[eng.Net.Externals[i]]++
 	}
-	return r
+	return r, nil
 }
 
 // dataVar returns the data-plane advertiser variable n_i^l for neighbor
@@ -323,7 +341,7 @@ func (r *Result) forwardAll() {
 func (r *Result) forward(v string, pkt bdd.Node, path []string) {
 	s := r.eng.Space
 	fib := r.FIBs[v]
-	if pkt == bdd.False {
+	if pkt == bdd.False || r.ctx.Err() != nil {
 		return
 	}
 	if p := s.M.And(pkt, fib.Arrive); p != bdd.False {

@@ -193,11 +193,11 @@ func (n *Network) LinkCount() int {
 
 // Stats summarizes the network for dataset tables.
 type Stats struct {
-	Nodes       int
-	Links       int
-	Peers       int
-	Prefixes    int
-	ConfigLines int
+	Nodes       int `json:"nodes"`
+	Links       int `json:"links"`
+	Peers       int `json:"peers"`
+	Prefixes    int `json:"prefixes"`
+	ConfigLines int `json:"config_lines"`
 }
 
 // Statistics computes Table 1-style statistics.

@@ -1,11 +1,18 @@
 # Tier-1 verification lives in ROADMAP.md; `make ci` is the superset run
-# in CI: vet + build + race-enabled tests across every package.
+# in CI: vet + build + race-enabled tests across every package, then the
+# same race run again with the parallel engine forced on.
 
 GO ?= go
 
-.PHONY: ci vet build test race race-service
+# Worker count the race-parallel step forces through EXPRESSO_WORKERS.
+# Options.Workers==0 and service EngineWorkers==0 resolve to this, so the
+# whole suite — including the service path — exercises the multi-goroutine
+# engine under the race detector.
+RACE_WORKERS ?= 4
 
-ci: vet build race
+.PHONY: ci vet build test race race-parallel race-service bench-quick
+
+ci: vet build race race-parallel
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +28,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The packages with parallel hot paths, race-checked with the concurrent
+# engine forced on for every verification (not just tests that opt in).
+# The root package's own determinism/race tests already pin Workers
+# explicitly, so they are covered by the plain `race` run above.
+race-parallel:
+	EXPRESSO_WORKERS=$(RACE_WORKERS) $(GO) test -race -count=1 ./internal/bdd/ ./internal/epvp/ ./internal/spf/ ./internal/service/
+
 # Just the verification daemon under the race detector.
 race-service:
 	$(GO) test -race ./internal/service/...
+
+# Quick benchmark of the end-to-end pipeline across worker counts; full
+# sweeps are cmd/expresso-bench. Recorded numbers: BENCH_pr2.json.
+bench-quick:
+	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1' -benchmem -benchtime=3x

@@ -19,7 +19,9 @@ package expresso_test
 // integration tests (testnet fixtures).
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -120,4 +122,35 @@ func BenchmarkVerifyRegion1(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkVerifyRegion1Parallel measures the same pipeline (all three §7.1
+// properties, so the SPF stage is included) across engine worker counts.
+// Speedups require real cores: on a single-CPU machine the parallel
+// variants mostly measure the coordination overhead.
+func BenchmarkVerifyRegion1Parallel(b *testing.B) {
+	text := netgen.CSP(netgen.CSPOldRegion(1))
+	for _, workers := range workerSweep() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net, err := expresso.Load(text)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := expresso.Options{Workers: workers}
+				if _, err := net.Verify(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// workerSweep returns 1, 2, 4, and NumCPU (deduplicated, ascending).
+func workerSweep() []int {
+	sweep := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		sweep = append(sweep, n)
+	}
+	return sweep
 }

@@ -31,12 +31,13 @@ func main() {
 		table4 = flag.Bool("table4", false, "Internet2 BlockToExternal comparison")
 		enum   = flag.Bool("enum", false, "Batfish-style enumeration baseline")
 		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "reduced scales for a fast smoke run")
-		budget = flag.Duration("msbudget", 60*time.Second, "Minesweeper* budget per data point")
+		quick   = flag.Bool("quick", false, "reduced scales for a fast smoke run")
+		budget  = flag.Duration("msbudget", 60*time.Second, "Minesweeper* budget per data point")
+		workers = flag.Int("workers", 0, "engine worker goroutines per run (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{Quick: *quick, MSBudget: *budget}
+	cfg := bench.Config{Quick: *quick, MSBudget: *budget, Workers: *workers}
 	ran := false
 	run := func(enabled bool, f func() error) {
 		if !enabled && !*all {

@@ -7,7 +7,7 @@
 //	expresso check -dir configs/
 //	expresso stats -file net.cfg
 //	expresso gen -dataset full-old -out configs/
-//	expresso serve -addr :8080 [-workers N] [-queue N] [-cache N] [-timeout 5m]
+//	expresso serve -addr :8080 [-workers N] [-engine-workers M] [-queue N] [-cache N] [-timeout 5m]
 //
 // Datasets: region1..region4, full-old, full-new, internet2.
 package main
@@ -98,10 +98,11 @@ func cmdCheck(args []string) {
 	minus := fs.Bool("minus", false, "run Expresso- (concrete AS paths)")
 	verbose := fs.Bool("v", false, "print every violation")
 	asJSON := fs.Bool("json", false, "print the report as JSON instead of the table")
+	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	fs.Parse(args)
 
 	net := loadNetwork(*file, *dir)
-	opts := expresso.Options{}
+	opts := expresso.Options{Workers: *workers}
 	if *minus {
 		opts.Mode = expresso.ExpressoMinusMode()
 	}
@@ -141,9 +142,10 @@ func cmdCheck(args []string) {
 	s := rep.Stats
 	fmt.Printf("network: %d nodes, %d links, %d peers, %d prefixes, %d config lines\n",
 		s.Nodes, s.Links, s.Peers, s.Prefixes, s.ConfigLines)
-	fmt.Printf("stages:  SRC %v | routing analysis %v | SPF %v | forwarding analysis %v\n",
+	fmt.Printf("stages:  SRC %v | routing analysis %v | SPF %v | forwarding analysis %v | workers %d\n",
 		rep.Timing.SRC.Round(1e6), rep.Timing.RoutingAnalysis.Round(1e6),
-		rep.Timing.SPF.Round(1e6), rep.Timing.ForwardingAnalysis.Round(1e6))
+		rep.Timing.SPF.Round(1e6), rep.Timing.ForwardingAnalysis.Round(1e6),
+		rep.Timing.Workers)
 	fmt.Printf("state:   converged=%v iterations=%d symbolic routes=%d PECs=%d heap=%.1fMB\n",
 		rep.Converged, rep.Iterations, rep.RIBRoutes, rep.PECs, float64(rep.HeapBytes)/1e6)
 	counts := rep.CountByKind()
@@ -230,6 +232,7 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	engineWorkers := fs.Int("engine-workers", 1, "engine goroutines per job (0 = GOMAXPROCS, 1 = sequential)")
 	queueDepth := fs.Int("queue", 64, "job queue depth")
 	cacheSize := fs.Int("cache", 128, "result cache capacity in reports (-1 disables)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
@@ -237,10 +240,11 @@ func cmdServe(args []string) {
 	fs.Parse(args)
 
 	srv := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-		JobTimeout: *timeout,
+		Workers:       *workers,
+		EngineWorkers: *engineWorkers,
+		QueueDepth:    *queueDepth,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *timeout,
 	})
 	srv.Start()
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -21,8 +21,10 @@ package expresso
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -77,6 +79,14 @@ type Options struct {
 	// BTE is the community for BlockToExternal (required when that
 	// property is selected).
 	BTE route.Community
+	// Workers is the number of goroutines the symbolic engine uses for the
+	// EPVP rounds and the SPF traversal. 0 means one per available CPU
+	// (runtime.GOMAXPROCS); 1 keeps the single-threaded reference path.
+	// The Report is byte-identical for every value, so Workers is excluded
+	// from CacheKey. The EXPRESSO_WORKERS environment variable, when set
+	// to a positive integer, overrides a zero value (used by CI to force
+	// the parallel paths under the race detector).
+	Workers int
 }
 
 func (o *Options) normalize() {
@@ -86,12 +96,21 @@ func (o *Options) normalize() {
 	if len(o.Properties) == 0 {
 		o.Properties = []Kind{RouteLeakFree, RouteHijackFree, TrafficHijackFree}
 	}
+	if o.Workers == 0 {
+		if env := os.Getenv("EXPRESSO_WORKERS"); env != "" {
+			if n, err := strconv.Atoi(env); err == nil && n > 0 {
+				o.Workers = n
+			}
+		}
+	}
 }
 
 // CacheKey renders the normalized options deterministically (mode flags,
 // sorted property set, BTE community). Two Options values with the same key
 // request the same verification, so services may key result caches on it
-// together with a digest of the configuration text.
+// together with a digest of the configuration text. Workers is deliberately
+// absent: worker count changes how fast a report is produced, not its
+// content, so cached results are shared across worker settings.
 func (o Options) CacheKey() string {
 	o.Properties = append([]Kind(nil), o.Properties...)
 	o.normalize()
@@ -142,6 +161,9 @@ type Timing struct {
 	RoutingAnalysis    time.Duration `json:"routing_analysis_ns"`
 	SPF                time.Duration `json:"spf_ns"`
 	ForwardingAnalysis time.Duration `json:"forwarding_analysis_ns"`
+	// Workers is the resolved engine worker count the run used (1 =
+	// sequential reference path).
+	Workers int `json:"workers"`
 }
 
 // Total sums the stages.
@@ -230,6 +252,8 @@ func (n *Network) VerifyContext(ctx context.Context, opts Options) (*Report, err
 	// Stage 1: symbolic route computation.
 	start := time.Now()
 	eng := epvp.New(n.Topo, opts.Mode)
+	eng.Workers = opts.Workers
+	rep.Timing.Workers = eng.WorkerCount()
 	cp, err := eng.RunContext(ctx)
 	if err != nil {
 		return nil, err

@@ -22,7 +22,6 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			Kind:        RouteLeakFree,
 			Node:        "ISP2",
 			Detail:      "route originated by ISP1 reaches ISP2",
-			Cond:        7,
 			Prefix:      route.MustParsePrefix("128.0.0.0/2"),
 			Path:        []string{"ISP1", "PR1", "PR2", "ISP2"},
 			Originators: []string{"ISP1"},
@@ -54,9 +53,9 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	// and the CLI's -json output.
 	for _, key := range []string{
 		`"stats"`, `"nodes"`, `"config_lines"`,
-		`"violations"`, `"kind"`, `"node"`, `"detail"`, `"cond"`, `"prefix"`, `"addr"`, `"len"`,
+		`"violations"`, `"kind"`, `"node"`, `"detail"`, `"prefix"`, `"addr"`, `"len"`,
 		`"path"`, `"originators"`,
-		`"timing"`, `"src_ns"`, `"routing_analysis_ns"`, `"spf_ns"`, `"forwarding_analysis_ns"`,
+		`"timing"`, `"src_ns"`, `"routing_analysis_ns"`, `"spf_ns"`, `"forwarding_analysis_ns"`, `"workers"`,
 		`"heap_bytes"`, `"converged"`, `"iterations"`, `"rib_routes"`, `"pecs"`,
 	} {
 		if !strings.Contains(string(data), key) {

@@ -1,0 +1,111 @@
+package expresso
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/netgen"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+// reportJSON marshals a report with the run-dependent fields (wall-clock
+// timings, worker count, heap) zeroed, so two runs of the same network can
+// be compared byte for byte.
+func reportJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	r := *rep
+	r.Timing = Timing{}
+	r.HeapBytes = 0
+	out, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestParallelDeterminism asserts that a parallel run (Workers: 4) produces
+// a byte-identical report to the sequential reference (Workers: 1) on every
+// fixture: same violations in the same order, same witnesses, same RIB and
+// PEC counts. BDD handle numbering is scheduling-dependent across runs, so
+// this only holds because everything report-visible is ordered by
+// run-independent structural keys.
+func TestParallelDeterminism(t *testing.T) {
+	fixtures := []struct {
+		name string
+		cfg  string
+		opts Options
+	}{
+		{"figure4", testnet.Figure4, Options{}},
+		{"figure4-fixed", testnet.Figure4Fixed, Options{}},
+		{"case1-blackhole", testnet.Case1Blackhole,
+			Options{Properties: []Kind{RouteLeakFree, BlackHoleFree, LoopFree}}},
+		{"case2-route-leak", testnet.Case2RouteLeak, Options{}},
+		{"region1-small", netgen.CSP(netgen.CSPOldRegion(1).WithPeers(3)),
+			Options{Properties: []Kind{RouteLeakFree, RouteHijackFree, TrafficHijackFree}}},
+	}
+	for _, f := range fixtures {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			net, err := Load(f.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := f.opts
+			seq.Workers = 1
+			repSeq, err := net.Verify(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if repSeq.Timing.Workers != 1 {
+				t.Errorf("sequential Timing.Workers = %d, want 1", repSeq.Timing.Workers)
+			}
+			want := reportJSON(t, repSeq)
+
+			par := f.opts
+			par.Workers = 4
+			for run := 0; run < 2; run++ { // twice: scheduling varies between runs
+				repPar, err := net.Verify(par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if repPar.Timing.Workers != 4 {
+					t.Errorf("parallel Timing.Workers = %d, want 4", repPar.Timing.Workers)
+				}
+				got := reportJSON(t, repPar)
+				if string(got) != string(want) {
+					t.Fatalf("run %d: parallel report differs from sequential:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+						run, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersDefault checks the Workers plumbing: 0 resolves to GOMAXPROCS
+// and the resolved count is surfaced in Report.Timing.
+func TestWorkersDefault(t *testing.T) {
+	t.Setenv("EXPRESSO_WORKERS", "") // isolate from the CI race knob
+	net, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := net.Verify(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runtime.GOMAXPROCS(0); rep.Timing.Workers != want {
+		t.Errorf("Timing.Workers = %d, want GOMAXPROCS = %d", rep.Timing.Workers, want)
+	}
+}
+
+// TestWorkersExcludedFromCacheKey pins the cache-key contract: the worker
+// count changes scheduling, never results, so it must not fragment the
+// service result cache.
+func TestWorkersExcludedFromCacheKey(t *testing.T) {
+	a := Options{Workers: 1}
+	b := Options{Workers: 8}
+	if a.CacheKey() != b.CacheKey() {
+		t.Error("CacheKey must not depend on Workers")
+	}
+}

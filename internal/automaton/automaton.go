@@ -396,29 +396,38 @@ func (a *Automaton) Equals(b *Automaton) bool {
 }
 
 // Signature returns a canonical string identifying the language. Two
-// automata have equal signatures iff they accept the same language.
+// automata have equal signatures iff they accept the same language. The
+// signature is sealed at minimization time, so automata built through the
+// package constructors answer from the precomputed field with no mutation —
+// making concurrent Signature calls on shared automata race-free.
 func (a *Automaton) Signature() string {
-	if a.sig == "" {
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "s%d;", a.start)
-		for i, st := range a.states {
-			fmt.Fprintf(&sb, "%d", i)
-			if st.accept {
-				sb.WriteByte('A')
-			}
-			syms := make([]Symbol, 0, len(st.trans))
-			for s := range st.trans {
-				syms = append(syms, s)
-			}
-			sort.Slice(syms, func(x, y int) bool { return syms[x] < syms[y] })
-			for _, s := range syms {
-				fmt.Fprintf(&sb, " %d>%d", s, st.trans[s])
-			}
-			fmt.Fprintf(&sb, " *>%d;", st.other)
-		}
-		a.sig = sb.String()
+	if a.sig != "" {
+		return a.sig
 	}
-	return a.sig
+	// Hand-rolled Automaton values (tests) may bypass minimize; compute
+	// without caching to stay safe under concurrent readers.
+	return a.computeSig()
+}
+
+func (a *Automaton) computeSig() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "s%d;", a.start)
+	for i, st := range a.states {
+		fmt.Fprintf(&sb, "%d", i)
+		if st.accept {
+			sb.WriteByte('A')
+		}
+		syms := make([]Symbol, 0, len(st.trans))
+		for s := range st.trans {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(x, y int) bool { return syms[x] < syms[y] })
+		for _, s := range syms {
+			fmt.Fprintf(&sb, " %d>%d", s, st.trans[s])
+		}
+		fmt.Fprintf(&sb, " *>%d;", st.other)
+	}
+	return sb.String()
 }
 
 // minimize returns the canonical minimal DFA for a's language: unreachable
@@ -540,6 +549,10 @@ func (a *Automaton) minimize() *Automaton {
 	if len(out.alphabet()) < len(alpha) {
 		return out.minimize()
 	}
+	// Seal the signature now: every construction path ends in minimize, so
+	// automata are fully immutable (and safe to share across goroutines)
+	// once returned.
+	out.sig = out.computeSig()
 	return out
 }
 

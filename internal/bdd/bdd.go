@@ -9,12 +9,37 @@
 // Nodes are identified by int32 handles. Handles 0 and 1 are the constants
 // False and True. Negation is a regular operation (not complement edges),
 // which keeps the implementation simple and the node table canonical.
+//
+// # Concurrency model
+//
+// The node universe is shared and safe for concurrent use: the node slab is
+// a chunked array with atomic append (handles are stable; slots are never
+// moved or rewritten), and the unique table is lock-striped, so any number
+// of goroutines may hash-cons nodes at once. Because hash-consing is
+// canonical, a boolean function has exactly one handle within a Manager no
+// matter which goroutine builds it first.
+//
+// Memoized operations (ITE and everything built on it) go through a Worker,
+// which owns a private operation cache: workers never contend on the memo
+// (Sylvan-style per-worker caches). A Worker must be used by one goroutine
+// at a time; create one per goroutine with NewWorker. The Manager embeds a
+// default Worker so existing single-threaded callers can keep invoking the
+// same methods on the Manager itself — those delegating methods are NOT
+// safe for concurrent use, exactly like the old single-threaded Manager.
+//
+// Operations that only read the slab (Support, SatCount, AnySat, AllSat,
+// Eval) or only hash-cons without a shared memo (Var, Cube, Restrict,
+// RestrictMany, RenameMonotone) are safe to call from any goroutine
+// directly on the Manager. AddVars is the one structural mutation and must
+// not run concurrently with any operation.
 package bdd
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Node is a handle to a BDD node owned by a Manager. The zero value is the
@@ -36,23 +61,61 @@ type node struct {
 
 const maxLevel = math.MaxInt32
 
+// Slab geometry: nodes live in fixed-size chunks reachable through an
+// atomic pointer directory, so a handle's storage never moves and readers
+// need no lock. 2^15 chunks of 2^16 nodes cover the full int32 handle
+// space.
+const (
+	chunkBits = 16
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+	maxChunks = 1 << 15
+)
+
+type nodeChunk [chunkSize]node
+
+// Unique-table striping: the stripe is selected by the top bits of the key
+// hash, the in-stripe slot by the low bits, so the two indices stay
+// independent.
+const (
+	stripeBits  = 8
+	numStripes  = 1 << stripeBits
+	stripeShift = 32 - stripeBits
+)
+
+type uniqueStripe struct {
+	mu sync.Mutex
+	t  hashTable
+	_  [40]byte // keep neighboring stripes off one cache line
+}
+
 // Manager owns a universe of BDD nodes over a fixed number of boolean
 // variables. All operations combining Nodes require them to come from the
-// same Manager. A Manager is not safe for concurrent use.
+// same Manager. Node creation (mk, Var, Cube, Restrict...) is safe for
+// concurrent use; memoized connectives are safe when each goroutine uses
+// its own Worker (see the package comment).
 type Manager struct {
-	nodes   []node
-	unique  hashTable
-	iteMemo hashTable
+	chunks []atomic.Pointer[nodeChunk]
+	nNodes atomic.Int64
+	slabMu sync.Mutex // guards chunk allocation only
+
+	unique [numStripes]uniqueStripe
+
 	numVars int
 
-	// quantification/compose caches are keyed per operation invocation
-	// (they depend on the variable set), so they live in the call frames.
+	// fps memoizes structural fingerprints (see Fingerprint); a node's
+	// fingerprint never changes, so the map only grows.
+	fps sync.Map // Node -> [2]uint64
+
+	// def is the default worker backing the Manager's own connective
+	// methods, preserving the old single-threaded API.
+	def Worker
 }
 
 // hashTable is an open-addressing hash table from three-int32 keys to Node,
-// used for the unique table ((level, low, high) -> node) and the ITE memo
-// ((f, g, h) -> result). Go's built-in maps dominated the profile; this
-// table avoids their per-access overhead.
+// used for the per-stripe unique tables ((level, low, high) -> node) and
+// the per-worker ITE memos ((f, g, h) -> result). Go's built-in maps
+// dominated the profile; this table avoids their per-access overhead.
 type hashTable struct {
 	keys []tableKey
 	vals []Node
@@ -145,16 +208,29 @@ func New(numVars int) *Manager {
 		panic("bdd: negative variable count")
 	}
 	m := &Manager{
-		unique:  newHashTable(1024),
-		iteMemo: newHashTable(1024),
+		chunks:  make([]atomic.Pointer[nodeChunk], maxChunks),
 		numVars: numVars,
 	}
+	for i := range m.unique {
+		m.unique[i].t = newHashTable(16)
+	}
+	m.def = Worker{m: m, ite: newHashTable(1024)}
 	// Slots 0 and 1 are the constants.
-	m.nodes = append(m.nodes,
-		node{level: maxLevel, low: False, high: False},
-		node{level: maxLevel, low: True, high: True},
-	)
+	m.newNode(maxLevel, False, False)
+	m.newNode(maxLevel, True, True)
 	return m
+}
+
+// DefaultWorker returns the Manager's built-in worker (the one backing the
+// Manager's own connective methods). Single-threaded phases may use it
+// freely; concurrent phases must create one Worker per goroutine instead.
+func (m *Manager) DefaultWorker() *Worker { return &m.def }
+
+// NewWorker creates a Worker with a private operation cache. A Worker is
+// cheap (one small hash table); create one per goroutine for parallel
+// phases.
+func (m *Manager) NewWorker() *Worker {
+	return &Worker{m: m, ite: newHashTable(1024)}
 }
 
 // NumVars returns the number of variables the manager was created with.
@@ -162,33 +238,69 @@ func (m *Manager) NumVars() int { return m.numVars }
 
 // NumNodes returns the total number of hash-consed nodes (including the two
 // constants). It is a proxy for memory use.
-func (m *Manager) NumNodes() int { return len(m.nodes) }
+func (m *Manager) NumNodes() int { return int(m.nNodes.Load()) }
 
 // AddVars grows the variable universe by n, returning the index of the first
 // new variable. Existing nodes are unaffected (new variables sort below all
-// current ones only in index, not in any node already built).
+// current ones only in index, not in any node already built). AddVars must
+// not be called concurrently with any other operation.
 func (m *Manager) AddVars(n int) int {
 	first := m.numVars
 	m.numVars += n
 	return first
 }
 
-func (m *Manager) level(n Node) int32 { return m.nodes[n].level }
-func (m *Manager) low(n Node) Node    { return m.nodes[n].low }
-func (m *Manager) high(n Node) Node   { return m.nodes[n].high }
+// nodeAt returns the slab slot of n. Safe for concurrent readers: a handle
+// only becomes reachable after its slot is fully written, ordered by the
+// unique-table stripe lock (or whatever synchronization published the
+// handle to the reading goroutine).
+func (m *Manager) nodeAt(n Node) *node {
+	return &m.chunks[uint32(n)>>chunkBits].Load()[uint32(n)&chunkMask]
+}
+
+func (m *Manager) level(n Node) int32 { return m.nodeAt(n).level }
+func (m *Manager) low(n Node) Node    { return m.nodeAt(n).low }
+func (m *Manager) high(n Node) Node   { return m.nodeAt(n).high }
+
+// newNode appends a node to the slab and returns its handle. Chunk
+// allocation is guarded by slabMu; slot writes race with nothing because
+// the atomic counter hands each caller a distinct slot.
+func (m *Manager) newNode(level int32, low, high Node) Node {
+	idx := m.nNodes.Add(1) - 1
+	if idx >= maxChunks*chunkSize {
+		panic("bdd: node table overflow (2^31 nodes)")
+	}
+	ci := uint32(idx) >> chunkBits
+	ch := m.chunks[ci].Load()
+	if ch == nil {
+		m.slabMu.Lock()
+		if ch = m.chunks[ci].Load(); ch == nil {
+			ch = new(nodeChunk)
+			m.chunks[ci].Store(ch)
+		}
+		m.slabMu.Unlock()
+	}
+	ch[uint32(idx)&chunkMask] = node{level: level, low: low, high: high}
+	return Node(idx)
+}
 
 // mk returns the canonical node for (level, low, high), applying the
-// reduction rule low==high => low.
+// reduction rule low==high => low. Safe for concurrent use: the stripe lock
+// serializes lookup and insertion for any given key, so a function keeps a
+// single canonical handle no matter how many goroutines request it.
 func (m *Manager) mk(level int32, low, high Node) Node {
 	if low == high {
 		return low
 	}
-	if h, ok := m.unique.get(level, int32(low), int32(high)); ok {
+	st := &m.unique[hash3(level, int32(low), int32(high))>>stripeShift]
+	st.mu.Lock()
+	if h, ok := st.t.get(level, int32(low), int32(high)); ok {
+		st.mu.Unlock()
 		return h
 	}
-	h := Node(len(m.nodes))
-	m.nodes = append(m.nodes, node{level: level, low: low, high: high})
-	m.unique.put(level, int32(low), int32(high), h)
+	h := m.newNode(level, low, high)
+	st.t.put(level, int32(low), int32(high), h)
+	st.mu.Unlock()
 	return h
 }
 
@@ -208,9 +320,30 @@ func (m *Manager) NVar(i int) Node {
 	return m.mk(int32(i), True, False)
 }
 
+// Worker is a per-goroutine view of a Manager holding a private memo for
+// the ITE core and every connective built on it. Workers sharing a Manager
+// build into the same canonical node universe; only the caches are
+// private, so concurrent workers never contend on (or pollute) each
+// other's memos. A Worker must not be used by two goroutines at once.
+type Worker struct {
+	m   *Manager
+	ite hashTable
+}
+
+// Manager returns the manager this worker builds into.
+func (w *Worker) Manager() *Manager { return w.m }
+
+// ClearCache drops the worker's memo table. Handles stay valid (the shared
+// unique table is untouched).
+func (w *Worker) ClearCache() { w.ite = newHashTable(1024) }
+
+// CacheSize returns the number of memoized results held by this worker, a
+// proxy for the cache's memory footprint.
+func (w *Worker) CacheSize() int { return w.ite.used }
+
 // ITE computes if-then-else: f ? g : h. It is the core connective; all other
 // binary operations delegate to it.
-func (m *Manager) ITE(f, g, h Node) Node {
+func (w *Worker) ITE(f, g, h Node) Node {
 	// Terminal cases.
 	switch {
 	case f == True:
@@ -222,9 +355,10 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	case g == True && h == False:
 		return f
 	}
-	if r, ok := m.iteMemo.get(int32(f), int32(g), int32(h)); ok {
+	if r, ok := w.ite.get(int32(f), int32(g), int32(h)); ok {
 		return r
 	}
+	m := w.m
 	top := m.level(f)
 	if l := m.level(g); l < top {
 		top = l
@@ -235,58 +369,202 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	f0, f1 := m.cofactors(f, top)
 	g0, g1 := m.cofactors(g, top)
 	h0, h1 := m.cofactors(h, top)
-	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
-	m.iteMemo.put(int32(f), int32(g), int32(h), r)
+	r := m.mk(top, w.ITE(f0, g0, h0), w.ITE(f1, g1, h1))
+	w.ite.put(int32(f), int32(g), int32(h), r)
 	return r
 }
 
 func (m *Manager) cofactors(n Node, level int32) (lo, hi Node) {
-	if m.level(n) == level {
-		return m.low(n), m.high(n)
+	nd := m.nodeAt(n)
+	if nd.level == level {
+		return nd.low, nd.high
 	}
 	return n, n
 }
 
 // And returns the conjunction of its arguments (True for no arguments).
-func (m *Manager) And(ns ...Node) Node {
+func (w *Worker) And(ns ...Node) Node {
 	r := True
 	for _, n := range ns {
 		if r == False {
 			return False
 		}
-		r = m.ITE(r, n, False)
+		r = w.ITE(r, n, False)
 	}
 	return r
 }
 
 // Or returns the disjunction of its arguments (False for no arguments).
-func (m *Manager) Or(ns ...Node) Node {
+func (w *Worker) Or(ns ...Node) Node {
 	r := False
 	for _, n := range ns {
 		if r == True {
 			return True
 		}
-		r = m.ITE(r, True, n)
+		r = w.ITE(r, True, n)
 	}
 	return r
 }
 
 // Not returns the negation of n.
-func (m *Manager) Not(n Node) Node { return m.ITE(n, False, True) }
+func (w *Worker) Not(n Node) Node { return w.ITE(n, False, True) }
 
 // Xor returns the exclusive or of a and b.
-func (m *Manager) Xor(a, b Node) Node { return m.ITE(a, m.Not(b), b) }
+func (w *Worker) Xor(a, b Node) Node { return w.ITE(a, w.Not(b), b) }
 
 // Imp returns the implication a -> b.
-func (m *Manager) Imp(a, b Node) Node { return m.ITE(a, b, True) }
+func (w *Worker) Imp(a, b Node) Node { return w.ITE(a, b, True) }
 
 // Biimp returns the biconditional a <-> b.
-func (m *Manager) Biimp(a, b Node) Node { return m.ITE(a, b, m.Not(b)) }
+func (w *Worker) Biimp(a, b Node) Node { return w.ITE(a, b, w.Not(b)) }
 
 // Diff returns a AND NOT b.
-func (m *Manager) Diff(a, b Node) Node { return m.ITE(b, False, a) }
+func (w *Worker) Diff(a, b Node) Node { return w.ITE(b, False, a) }
 
-// Restrict fixes variable i to value and simplifies.
+// Exists existentially quantifies the given variables out of n.
+func (w *Worker) Exists(n Node, vars ...int) Node {
+	if len(vars) == 0 {
+		return n
+	}
+	m := w.m
+	set := make(map[int32]bool, len(vars))
+	maxVar := int32(-1)
+	for _, v := range vars {
+		set[int32(v)] = true
+		if int32(v) > maxVar {
+			maxVar = int32(v)
+		}
+	}
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(x Node) Node {
+		if m.level(x) > maxVar {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		lo, hi := rec(m.low(x)), rec(m.high(x))
+		var r Node
+		if set[m.level(x)] {
+			r = w.Or(lo, hi)
+		} else {
+			r = m.mk(m.level(x), lo, hi)
+		}
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// Forall universally quantifies the given variables out of n.
+func (w *Worker) Forall(n Node, vars ...int) Node {
+	return w.Not(w.Exists(w.Not(n), vars...))
+}
+
+// Rename replaces each variable old with mapping[old] in n. The mapping must
+// be injective; this implementation rebuilds the BDD from scratch so any
+// injective mapping is safe.
+func (w *Worker) Rename(n Node, mapping map[int]int) Node {
+	m := w.m
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(x Node) Node {
+		if x == True || x == False {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		lvl := int(m.level(x))
+		if nv, ok := mapping[lvl]; ok {
+			lvl = nv
+		}
+		v := m.Var(lvl)
+		r := w.ITE(v, rec(m.high(x)), rec(m.low(x)))
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// UintLE returns the predicate "bits <= bound" over the given bit variables
+// (vars[0] most significant).
+func (w *Worker) UintLE(vars []int, bound uint64) Node {
+	m := w.m
+	// Build from least significant upward: standard comparator recursion.
+	// le(i) handles bits vars[i:].
+	var build func(i int) Node
+	build = func(i int) Node {
+		if i == len(vars) {
+			return True
+		}
+		bit := bound&(1<<(len(vars)-1-i)) != 0
+		rest := build(i + 1)
+		v := m.Var(vars[i])
+		if bit {
+			// var=0 -> anything below; var=1 -> rest must satisfy.
+			return w.ITE(v, rest, True)
+		}
+		// bit=0: var must be 0 and rest satisfy.
+		return w.ITE(v, False, rest)
+	}
+	return build(0)
+}
+
+// UintGE returns the predicate "bits >= bound" over the given bit variables.
+func (w *Worker) UintGE(vars []int, bound uint64) Node {
+	if bound == 0 {
+		return True
+	}
+	return w.Not(w.UintLE(vars, bound-1))
+}
+
+// The Manager's connective methods delegate to the default worker,
+// preserving the old single-threaded API. They are not safe for concurrent
+// use; parallel phases create their own Workers.
+
+// ITE computes if-then-else via the default worker.
+func (m *Manager) ITE(f, g, h Node) Node { return m.def.ITE(f, g, h) }
+
+// And returns the conjunction of its arguments (True for no arguments).
+func (m *Manager) And(ns ...Node) Node { return m.def.And(ns...) }
+
+// Or returns the disjunction of its arguments (False for no arguments).
+func (m *Manager) Or(ns ...Node) Node { return m.def.Or(ns...) }
+
+// Not returns the negation of n.
+func (m *Manager) Not(n Node) Node { return m.def.Not(n) }
+
+// Xor returns the exclusive or of a and b.
+func (m *Manager) Xor(a, b Node) Node { return m.def.Xor(a, b) }
+
+// Imp returns the implication a -> b.
+func (m *Manager) Imp(a, b Node) Node { return m.def.Imp(a, b) }
+
+// Biimp returns the biconditional a <-> b.
+func (m *Manager) Biimp(a, b Node) Node { return m.def.Biimp(a, b) }
+
+// Diff returns a AND NOT b.
+func (m *Manager) Diff(a, b Node) Node { return m.def.Diff(a, b) }
+
+// Exists existentially quantifies the given variables out of n.
+func (m *Manager) Exists(n Node, vars ...int) Node { return m.def.Exists(n, vars...) }
+
+// Forall universally quantifies the given variables out of n.
+func (m *Manager) Forall(n Node, vars ...int) Node { return m.def.Forall(n, vars...) }
+
+// Rename replaces each variable old with mapping[old] in n.
+func (m *Manager) Rename(n Node, mapping map[int]int) Node { return m.def.Rename(n, mapping) }
+
+// UintLE returns the predicate "bits <= bound" over the given bit variables.
+func (m *Manager) UintLE(vars []int, bound uint64) Node { return m.def.UintLE(vars, bound) }
+
+// UintGE returns the predicate "bits >= bound" over the given bit variables.
+func (m *Manager) UintGE(vars []int, bound uint64) Node { return m.def.UintGE(vars, bound) }
+
+// Restrict fixes variable i to value and simplifies. Safe for concurrent
+// use (local memo, lock-free reads, hash-consed writes).
 func (m *Manager) Restrict(n Node, i int, value bool) Node {
 	memo := make(map[Node]Node)
 	var rec func(Node) Node
@@ -315,7 +593,8 @@ func (m *Manager) Restrict(n Node, i int, value bool) Node {
 }
 
 // RestrictMany fixes several variables at once and simplifies; it is a
-// single linear pass, unlike chained Restrict calls.
+// single linear pass, unlike chained Restrict calls. Safe for concurrent
+// use.
 func (m *Manager) RestrictMany(n Node, values map[int]bool) Node {
 	if len(values) == 0 {
 		return n
@@ -356,7 +635,7 @@ func (m *Manager) RestrictMany(n Node, values map[int]bool) Node {
 // mapping[old_i] < mapping[old_j], and mapped variables must not interleave
 // with unmapped support variables out of order). Under that contract the
 // rename is a single linear rebuild; it panics if the contract is violated
-// in a way that breaks canonicity locally.
+// in a way that breaks canonicity locally. Safe for concurrent use.
 func (m *Manager) RenameMonotone(n Node, mapping map[int]int) Node {
 	if len(mapping) == 0 {
 		return n
@@ -385,73 +664,8 @@ func (m *Manager) RenameMonotone(n Node, mapping map[int]int) Node {
 	return rec(n)
 }
 
-// Exists existentially quantifies the given variables out of n.
-func (m *Manager) Exists(n Node, vars ...int) Node {
-	if len(vars) == 0 {
-		return n
-	}
-	set := make(map[int32]bool, len(vars))
-	maxVar := int32(-1)
-	for _, v := range vars {
-		set[int32(v)] = true
-		if int32(v) > maxVar {
-			maxVar = int32(v)
-		}
-	}
-	memo := make(map[Node]Node)
-	var rec func(Node) Node
-	rec = func(x Node) Node {
-		if m.level(x) > maxVar {
-			return x
-		}
-		if r, ok := memo[x]; ok {
-			return r
-		}
-		lo, hi := rec(m.low(x)), rec(m.high(x))
-		var r Node
-		if set[m.level(x)] {
-			r = m.Or(lo, hi)
-		} else {
-			r = m.mk(m.level(x), lo, hi)
-		}
-		memo[x] = r
-		return r
-	}
-	return rec(n)
-}
-
-// Forall universally quantifies the given variables out of n.
-func (m *Manager) Forall(n Node, vars ...int) Node {
-	return m.Not(m.Exists(m.Not(n), vars...))
-}
-
-// Rename replaces each variable old with mapping[old] in n. The mapping must
-// be injective, and no renamed variable may collide with a remaining variable
-// of n in a way that violates ordering canonicity; this implementation
-// rebuilds the BDD from scratch so any injective mapping is safe.
-func (m *Manager) Rename(n Node, mapping map[int]int) Node {
-	memo := make(map[Node]Node)
-	var rec func(Node) Node
-	rec = func(x Node) Node {
-		if x == True || x == False {
-			return x
-		}
-		if r, ok := memo[x]; ok {
-			return r
-		}
-		lvl := int(m.level(x))
-		if nv, ok := mapping[lvl]; ok {
-			lvl = nv
-		}
-		v := m.Var(lvl)
-		r := m.ITE(v, rec(m.high(x)), rec(m.low(x)))
-		memo[x] = r
-		return r
-	}
-	return rec(n)
-}
-
-// Support returns the sorted list of variables n depends on.
+// Support returns the sorted list of variables n depends on. Read-only and
+// safe for concurrent use.
 func (m *Manager) Support(n Node) []int {
 	seen := make(map[Node]bool)
 	vars := make(map[int]bool)
@@ -483,7 +697,8 @@ func (m *Manager) SatCount(n Node) float64 {
 }
 
 // SatCountVars returns the number of satisfying assignments over the first
-// numVars variables (which must include the support of n).
+// numVars variables (which must include the support of n). Read-only and
+// safe for concurrent use.
 func (m *Manager) SatCountVars(n Node, numVars int) float64 {
 	if n == False {
 		return 0
@@ -522,7 +737,8 @@ func (m *Manager) SatCountVars(n Node, numVars int) float64 {
 
 // AnySat returns one satisfying assignment of n as a map from variable index
 // to value, covering only the variables on the chosen path. It returns nil
-// if n is unsatisfiable.
+// if n is unsatisfiable. The chosen path depends only on the canonical node
+// structure, so the witness is deterministic across runs and worker counts.
 func (m *Manager) AnySat(n Node) map[int]bool {
 	if n == False {
 		return nil
@@ -585,7 +801,7 @@ func (m *Manager) Eval(n Node, assign map[int]bool) bool {
 }
 
 // Cube returns the conjunction of literals: vars[i] if values[i], else its
-// negation.
+// negation. Safe for concurrent use (hash-consing only).
 func (m *Manager) Cube(vars []int, values []bool) Node {
 	if len(vars) != len(values) {
 		panic("bdd: Cube length mismatch")
@@ -618,43 +834,52 @@ func (m *Manager) UintCube(vars []int, value uint64) Node {
 	return m.Cube(vars, values)
 }
 
-// UintLE returns the predicate "bits <= bound" over the given bit variables
-// (vars[0] most significant).
-func (m *Manager) UintLE(vars []int, bound uint64) Node {
-	// Build from least significant upward: standard comparator recursion.
-	// le(i) handles bits vars[i:].
-	var build func(i int) Node
-	build = func(i int) Node {
-		if i == len(vars) {
-			return True
-		}
-		bit := bound&(1<<(len(vars)-1-i)) != 0
-		rest := build(i + 1)
-		v := m.Var(vars[i])
-		if bit {
-			// var=0 -> anything below; var=1 -> rest must satisfy.
-			return m.ITE(v, rest, True)
-		}
-		// bit=0: var must be 0 and rest satisfy.
-		return m.ITE(v, False, rest)
-	}
-	return build(0)
-}
-
-// UintGE returns the predicate "bits >= bound" over the given bit variables.
-func (m *Manager) UintGE(vars []int, bound uint64) Node {
-	if bound == 0 {
-		return True
-	}
-	return m.Not(m.UintLE(vars, bound-1))
-}
-
-// ClearCaches drops the memoization tables (the unique table is retained, so
-// existing handles stay valid). Useful between large independent phases.
+// ClearCaches drops the default worker's memo table (the unique table is
+// retained, so existing handles stay valid). Useful between large
+// independent phases. Per-goroutine Workers clear their own caches with
+// ClearCache.
 func (m *Manager) ClearCaches() {
-	m.iteMemo = newHashTable(1024)
+	m.def.ClearCache()
 }
 
-// CacheSize returns the number of memoized ITE results, a proxy for the
-// cache's memory footprint.
-func (m *Manager) CacheSize() int { return m.iteMemo.used }
+// CacheSize returns the number of memoized results in the default worker's
+// cache, a proxy for its memory footprint.
+func (m *Manager) CacheSize() int { return m.def.CacheSize() }
+
+// Fingerprint returns a 128-bit structural fingerprint of n, derived from
+// the BDD's canonical shape (variable levels and branch structure) rather
+// than from handle numbers. Two nodes have equal fingerprints iff they
+// represent the same function (up to hash collision, which at 128 bits is
+// negligible), in this run or any other — unlike handle numbers, which
+// depend on node-creation order and therefore on goroutine scheduling.
+// Use it wherever an ordering must be identical across runs and worker
+// counts. Memoized; safe for concurrent use.
+func (m *Manager) Fingerprint(n Node) (hi, lo uint64) {
+	switch n {
+	case False:
+		return 0x8c61d8af5a6d2e11, 0x3b7f0f2d9c4e8b67
+	case True:
+		return 0x1f83d9abfb41bd6b, 0x9b05688c2b3e6c1f
+	}
+	if v, ok := m.fps.Load(n); ok {
+		fp := v.([2]uint64)
+		return fp[0], fp[1]
+	}
+	nd := m.nodeAt(n)
+	lhi, llo := m.Fingerprint(nd.low)
+	hhi, hlo := m.Fingerprint(nd.high)
+	hi = fpMix(uint64(nd.level)*0x9e3779b97f4a7c15 ^ lhi ^ fpMix(hhi))
+	lo = fpMix(uint64(nd.level)*0xc2b2ae3d27d4eb4f ^ llo ^ fpMix(hlo+0x165667b19e3779f9))
+	m.fps.Store(n, [2]uint64{hi, lo})
+	return hi, lo
+}
+
+// fpMix is the splitmix64 finalizer, used to diffuse fingerprint inputs.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -26,6 +26,9 @@ type Config struct {
 	// MSBudget is the wall-clock budget per Minesweeper* data point; the
 	// paper's analogue is its one-day timeout.
 	MSBudget time.Duration
+	// Workers is passed to expresso.Options.Workers for every Expresso run
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
 }
 
 // DefaultConfig mirrors the full evaluation with a practical Minesweeper*
@@ -119,7 +122,7 @@ func Table2(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		rep, err := net.Verify(expresso.Options{})
+		rep, err := net.Verify(expresso.Options{Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}
@@ -150,12 +153,12 @@ func (r verifierRow) timeCell() string {
 }
 
 // runExpressoLeak measures Expresso or Expresso- checking RouteLeakFree.
-func runExpressoLeak(d dataset, minus bool) (verifierRow, error) {
+func runExpressoLeak(d dataset, minus bool, workers int) (verifierRow, error) {
 	net, err := d.load()
 	if err != nil {
 		return verifierRow{}, err
 	}
-	opts := expresso.Options{Properties: []expresso.Kind{expresso.RouteLeakFree}}
+	opts := expresso.Options{Properties: []expresso.Kind{expresso.RouteLeakFree}, Workers: workers}
 	name := "Expresso"
 	if minus {
 		opts.Mode = expresso.ExpressoMinusMode()
@@ -234,12 +237,12 @@ func Fig6a(w io.Writer, cfg Config) error {
 			return err
 		}
 		printRow(w, n, ms)
-		ex, err := runExpressoLeak(d, false)
+		ex, err := runExpressoLeak(d, false, cfg.Workers)
 		if err != nil {
 			return err
 		}
 		printRow(w, n, ex)
-		exm, err := runExpressoLeak(d, true)
+		exm, err := runExpressoLeak(d, true, cfg.Workers)
 		if err != nil {
 			return err
 		}
@@ -273,12 +276,12 @@ func Fig6b(w io.Writer, cfg Config) error {
 			return err
 		}
 		printNamedRow(w, d.name, ms)
-		ex, err := runExpressoLeak(d, false)
+		ex, err := runExpressoLeak(d, false, cfg.Workers)
 		if err != nil {
 			return err
 		}
 		printNamedRow(w, d.name, ex)
-		exm, err := runExpressoLeak(d, true)
+		exm, err := runExpressoLeak(d, true, cfg.Workers)
 		if err != nil {
 			return err
 		}
@@ -320,6 +323,7 @@ func Fig6c(w io.Writer, cfg Config) error {
 			rep, err := net.Verify(expresso.Options{
 				Mode:       m.mode,
 				Properties: []expresso.Kind{expresso.RouteLeakFree, expresso.TrafficHijackFree},
+				Workers:    cfg.Workers,
 			})
 			if err != nil {
 				return err
@@ -351,7 +355,7 @@ func Table3(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		rep, err := net.Verify(expresso.Options{})
+		rep, err := net.Verify(expresso.Options{Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}
@@ -415,7 +419,7 @@ func Table4(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		opts := expresso.Options{Properties: []expresso.Kind{expresso.BlockToExternal}, BTE: netgen.BTECommunity}
+		opts := expresso.Options{Properties: []expresso.Kind{expresso.BlockToExternal}, BTE: netgen.BTECommunity, Workers: cfg.Workers}
 		name := "Expresso"
 		if minus {
 			opts.Mode = expresso.ExpressoMinusMode()

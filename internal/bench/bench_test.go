@@ -63,14 +63,14 @@ func TestTable3QuickSubset(t *testing.T) {
 
 func TestRunExpressoLeakRow(t *testing.T) {
 	d := allDatasets(true)[0] // region1
-	row, err := runExpressoLeak(d, false)
+	row, err := runExpressoLeak(d, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if row.verifier != "Expresso" || row.runtime <= 0 {
 		t.Errorf("row = %+v", row)
 	}
-	rowMinus, err := runExpressoLeak(d, true)
+	rowMinus, err := runExpressoLeak(d, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -161,15 +161,28 @@ func (a *Atoms) ListAtoms(s route.CommunitySet) []int {
 }
 
 // Space is the BDD encoding of symbolic community lists: variable i of M is
-// "the list contains a community in atom i".
+// "the list contains a community in atom i". W is the operation view
+// holding the op cache; a Space must be used by one goroutine at a time,
+// and parallel phases call Fork for a view with a private bdd.Worker over
+// the same manager.
 type Space struct {
 	Atoms *Atoms
 	M     *bdd.Manager
+	W     *bdd.Worker
 }
 
 // NewSpace creates the BDD space for the atom universe.
 func NewSpace(atoms *Atoms) *Space {
-	return &Space{Atoms: atoms, M: bdd.New(atoms.Count)}
+	m := bdd.New(atoms.Count)
+	return &Space{Atoms: atoms, M: m, W: m.DefaultWorker()}
+}
+
+// Fork returns a shallow copy of the space with a private op cache. Forks
+// share the node universe, so handles remain interchangeable.
+func (s *Space) Fork() *Space {
+	c := *s
+	c.W = s.M.NewWorker()
+	return &c
 }
 
 // All returns the symbolic list containing every concrete community list
@@ -205,15 +218,15 @@ func (s *Space) FromConcrete(set route.CommunitySet) bdd.Node {
 // Add returns the symbolic list after "add community" of a community in
 // atom: every member list now contains the atom.
 func (s *Space) Add(list bdd.Node, atom int) bdd.Node {
-	return s.M.And(s.M.Exists(list, atom), s.M.Var(atom))
+	return s.W.And(s.W.Exists(list, atom), s.M.Var(atom))
 }
 
 // Delete returns the symbolic list after "delete community" of the given
 // atoms: every member list loses them.
 func (s *Space) Delete(list bdd.Node, atoms []int) bdd.Node {
-	out := s.M.Exists(list, atoms...)
+	out := s.W.Exists(list, atoms...)
 	for _, a := range atoms {
-		out = s.M.And(out, s.M.NVar(a))
+		out = s.W.And(out, s.M.NVar(a))
 	}
 	return out
 }
@@ -225,7 +238,7 @@ func (s *Space) MatchAny(atoms []int) bdd.Node {
 	for i, a := range atoms {
 		terms[i] = s.M.Var(a)
 	}
-	return s.M.Or(terms...)
+	return s.W.Or(terms...)
 }
 
 // Contains reports whether the symbolic list includes the given concrete

@@ -11,7 +11,11 @@ package epvp
 
 import (
 	"context"
-	"sort"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"github.com/expresso-verify/expresso/internal/automaton"
 	"github.com/expresso-verify/expresso/internal/bdd"
@@ -51,16 +55,78 @@ type Engine struct {
 	Space *symbolic.Space
 	Comm  *community.Space
 	Mode  Mode
+	// Workers is the number of goroutines recomputing routers within one
+	// synchronous round. Values <= 1 keep the sequential reference path;
+	// 0 is resolved to runtime.GOMAXPROCS(0) at Run time. Results are
+	// identical for every value (see RunContext).
+	Workers int
 
 	ctx       symbolic.CompileContext
 	permitAll *symbolic.Transfer
 	transfers map[transferKey]*symbolic.Transfer
-	edgeMemo  map[string][]*symbolic.Route
+	edgeMemo  *edgeMemo
 }
 
 type transferKey struct {
 	device string
 	policy string
+}
+
+// edgeKey identifies a memoized edge transfer without building a composite
+// string per lookup (the old u+"|"+v+"|"+Key() key dominated allocations on
+// the fixed-point hot path); rkey is the route's memoized Key.
+type edgeKey struct {
+	u, v string
+	rkey string
+}
+
+// edgeMemo is the cross-round edge-transfer cache, lock-striped so parallel
+// round workers rarely contend: entries are pure functions of the key, so a
+// duplicated computation under two stripes' races is wasted work, never an
+// inconsistency.
+type edgeMemo struct {
+	stripes [memoStripes]memoStripe
+}
+
+const memoStripes = 64
+
+type memoStripe struct {
+	mu sync.Mutex
+	m  map[edgeKey][]*symbolic.Route
+	_  [40]byte // keep neighboring stripes off one cache line
+}
+
+func newEdgeMemo() *edgeMemo {
+	em := &edgeMemo{}
+	for i := range em.stripes {
+		em.stripes[i].m = map[edgeKey][]*symbolic.Route{}
+	}
+	return em
+}
+
+func (k edgeKey) stripe() uint32 {
+	h := uint32(2166136261)
+	for _, s := range [3]string{k.u, k.v, k.rkey} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint32(s[i])) * 16777619
+		}
+	}
+	return h % memoStripes
+}
+
+func (em *edgeMemo) get(k edgeKey) ([]*symbolic.Route, bool) {
+	s := &em.stripes[k.stripe()]
+	s.mu.Lock()
+	out, ok := s.m[k]
+	s.mu.Unlock()
+	return out, ok
+}
+
+func (em *edgeMemo) put(k edgeKey, v []*symbolic.Route) {
+	s := &em.stripes[k.stripe()]
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
 }
 
 // Result is the converged symbolic routing state.
@@ -90,7 +156,7 @@ func New(net *topology.Network, mode Mode) *Engine {
 		Comm:      community.NewSpace(atoms),
 		Mode:      mode,
 		transfers: map[transferKey]*symbolic.Transfer{},
-		edgeMemo:  map[string][]*symbolic.Route{},
+		edgeMemo:  newEdgeMemo(),
 	}
 	e.ctx = symbolic.CompileContext{
 		Space:               e.Space,
@@ -118,6 +184,36 @@ func New(net *topology.Network, mode Mode) *Engine {
 
 // Ctx exposes the compile context (spaces and feature flags).
 func (e *Engine) Ctx() symbolic.CompileContext { return e.ctx }
+
+// fork returns a shallow copy of the engine whose BDD operations run
+// through private per-worker memo caches (symbolic.Space.Fork). Forks share
+// the node universes — handles are interchangeable between forks — as well
+// as the compiled transfers (read-only after New) and the striped edge
+// memo. Each fork must be driven by one goroutine at a time.
+func (e *Engine) fork() *Engine {
+	c := *e
+	c.ctx.Space = e.ctx.Space.Fork()
+	c.ctx.Comm = e.ctx.Comm.Fork()
+	c.Space = c.ctx.Space
+	c.Comm = c.ctx.Comm
+	return &c
+}
+
+// WorkerCount resolves Workers: 0 means the EXPRESSO_WORKERS environment
+// variable if set (the CI race knob — it forces the parallel paths even in
+// tests that build the engine directly), else one worker per available CPU.
+// The SPF stage uses the same setting for its own fan-out.
+func (e *Engine) WorkerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	if env := os.Getenv("EXPRESSO_WORKERS"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 func (e *Engine) transfer(device, policy string) *symbolic.Transfer {
 	if policy == "" || !e.Mode.TrafficPolicies {
@@ -281,15 +377,18 @@ func (e *Engine) ImportCandidates(v, ext string) []*symbolic.Route {
 // v accepts when u advertises r: importAt(v, u, export(u, v, r)). Transfers
 // are pure functions of (u, v, r), and most RIB entries persist between
 // rounds, so the memo removes the bulk of repeated work. Cached routes are
-// shared and must be treated as immutable by callers (Merge clones before
-// mutating).
+// sealed before publication and shared across round workers; callers must
+// treat them as immutable (Merge clones before mutating).
 func (e *Engine) edgeTransfer(u, v string, r *symbolic.Route) []*symbolic.Route {
-	key := u + "|" + v + "|" + r.Key()
-	if out, ok := e.edgeMemo[key]; ok {
+	key := edgeKey{u: u, v: v, rkey: r.Key()}
+	if out, ok := e.edgeMemo.get(key); ok {
 		return out
 	}
 	out := e.importAt(v, u, e.export(u, v, r))
-	e.edgeMemo[key] = out
+	for _, o := range out {
+		o.Seal()
+	}
+	e.edgeMemo.put(key, out)
 	return out
 }
 
@@ -303,6 +402,15 @@ func (e *Engine) Run() *Result {
 // recomputations so a cancelled or expired context stops the iteration
 // promptly (well before convergence on large networks). On cancellation it
 // returns a nil Result and ctx.Err().
+//
+// With Workers > 1 the routers of one synchronous round are recomputed by a
+// pool of engine forks. This changes nothing observable: a round only reads
+// the previous round's RIBs, so per-router recomputation is independent;
+// hash-consing makes BDD handles canonical within a run regardless of which
+// fork builds a node; and the per-round reduction assembles results in
+// router order. Handle *numbering* does vary with scheduling, so the final
+// RIBs are ordered by symbolic.SortCanonical (structural fingerprints, not
+// handles), which makes the Result identical for every worker count.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	best := map[string][]*symbolic.Route{}
 	for _, name := range e.Net.Internals {
@@ -314,12 +422,22 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	}
 	extInit := map[string]*symbolic.Route{}
 	for _, name := range e.Net.Externals {
-		extInit[name] = e.externalInit(name)
+		r := e.externalInit(name)
+		r.Seal() // shared read-only with round workers
+		extInit[name] = r
 	}
 
 	res := &Result{
 		Best:        map[string][]*symbolic.Route{},
 		ExternalRIB: map[string][]*symbolic.Route{},
+	}
+	workers := e.WorkerCount()
+	var forks []*Engine
+	if workers > 1 {
+		forks = make([]*Engine, workers)
+		for i := range forks {
+			forks[i] = e.fork()
+		}
 	}
 	// Synchronous rounds with change tracking: a router recomputes only
 	// when some neighbor's RIB changed in the previous round, which lets
@@ -337,10 +455,9 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		res.Iterations = iter + 1
 		next := map[string][]*symbolic.Route{}
 		changedNow := map[string]bool{}
+		// Work list: the routers whose inputs changed last round.
+		var work []string
 		for _, v := range e.Net.Internals {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
 			needs := iter == 0
 			if !needs {
 				for _, u := range e.Net.Neighbors(v) {
@@ -350,33 +467,50 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 					}
 				}
 			}
-			if !needs {
+			if needs {
+				work = append(work, v)
+			} else {
 				next[v] = best[v]
-				continue
 			}
-			var candidates []*symbolic.Route
-			if r := e.originated(e.Net.Devices[v]); r != nil {
-				candidates = append(candidates, r)
+		}
+		outs := make([][]*symbolic.Route, len(work))
+		if len(forks) > 0 && len(work) > 1 {
+			var wg sync.WaitGroup
+			var cursor atomic.Int64
+			for _, f := range forks {
+				wg.Add(1)
+				go func(f *Engine) {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(work) || ctx.Err() != nil {
+							return
+						}
+						rs, err := f.recompute(ctx, work[i], best, extInit)
+						if err != nil {
+							return
+						}
+						outs[i] = rs
+					}
+				}(f)
 			}
-			for _, u := range e.Net.Neighbors(v) {
-				if err := ctx.Err(); err != nil {
+			wg.Wait()
+		} else {
+			for i, v := range work {
+				rs, err := e.recompute(ctx, v, best, extInit)
+				if err != nil {
 					return nil, err
 				}
-				if e.Net.IsInternal(u) {
-					for _, r := range best[u] {
-						candidates = append(candidates, e.edgeTransfer(u, v, r)...)
-					}
-					su := e.Net.Session(u, v)
-					if su != nil && su.AdvertiseDefault {
-						candidates = append(candidates,
-							e.importAt(v, u, []*symbolic.Route{e.defaultOriginated(u)})...)
-					}
-				} else {
-					candidates = append(candidates,
-						e.importAt(v, u, []*symbolic.Route{extInit[u]})...)
-				}
+				outs[i] = rs
 			}
-			next[v] = symbolic.Merge(e.Space, candidates)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Deterministic reduction: results land keyed by router name, in
+		// this round's work order, no matter which fork computed them.
+		for i, v := range work {
+			next[v] = outs[i]
 			if k := symbolic.RIBKey(next[v]); k != ribKeys[v] {
 				ribKeys[v] = k
 				changedNow[v] = true
@@ -388,11 +522,22 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			res.Converged = true
 			break
 		}
-		// Bound the ITE memo between rounds on very large runs; the node
+		// Bound the ITE memos between rounds on very large runs; the node
 		// table itself is retained, so handles stay valid.
 		if e.Space.M.CacheSize() > 64<<20 {
 			e.Space.M.ClearCaches()
 		}
+		for _, f := range forks {
+			if f.ctx.Space.W.CacheSize() > (64<<20)/len(forks) {
+				f.ctx.Space.W.ClearCache()
+			}
+		}
+	}
+	// Canonical, handle-free ordering so reports are byte-identical across
+	// runs and worker counts (Merge's internal order is only stable within
+	// one run).
+	for _, rs := range best {
+		symbolic.SortCanonical(e.Comm, rs)
 	}
 	res.Best = best
 
@@ -417,29 +562,47 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			}
 		}
 		// Externals do not run a decision process; they receive everything.
-		// Drop empties and sort for determinism.
+		// Drop empties and sort for determinism (stable: routes with equal
+		// attributes keep their deterministic collection order).
 		kept := recv[:0]
 		for _, r := range recv {
 			if r.U != bdd.False {
 				kept = append(kept, r)
 			}
 		}
-		res.ExternalRIB[ext] = sortStable(kept)
+		symbolic.SortCanonical(e.Comm, kept)
+		res.ExternalRIB[ext] = kept
 	}
 	return res, nil
 }
 
-func sortStable(rs []*symbolic.Route) []*symbolic.Route {
-	keys := make([]string, len(rs))
-	idx := make([]int, len(rs))
-	for i, r := range rs {
-		keys[i] = r.Key()
-		idx[i] = i
+// recompute rebuilds one router's RIB from the previous round's state: its
+// own originated routes plus every neighbor's advertisements, merged by
+// preference. Reads only best/extInit (previous round, immutable during the
+// round) and the engine's shared read-only state, so forks may run it
+// concurrently for different routers.
+func (e *Engine) recompute(ctx context.Context, v string, best map[string][]*symbolic.Route, extInit map[string]*symbolic.Route) ([]*symbolic.Route, error) {
+	var candidates []*symbolic.Route
+	if r := e.originated(e.Net.Devices[v]); r != nil {
+		candidates = append(candidates, r)
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
-	out := make([]*symbolic.Route, len(rs))
-	for i, j := range idx {
-		out[i] = rs[j]
+	for _, u := range e.Net.Neighbors(v) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e.Net.IsInternal(u) {
+			for _, r := range best[u] {
+				candidates = append(candidates, e.edgeTransfer(u, v, r)...)
+			}
+			su := e.Net.Session(u, v)
+			if su != nil && su.AdvertiseDefault {
+				candidates = append(candidates,
+					e.importAt(v, u, []*symbolic.Route{e.defaultOriginated(u)})...)
+			}
+		} else {
+			candidates = append(candidates,
+				e.importAt(v, u, []*symbolic.Route{extInit[u]})...)
+		}
 	}
-	return out
+	return symbolic.Merge(e.ctx.Space, candidates), nil
 }

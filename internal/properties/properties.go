@@ -42,8 +42,11 @@ type Violation struct {
 	// (control-plane variables for routing properties, data-plane variables
 	// for forwarding properties). Conditions of merged duplicate findings
 	// are unioned. The value is a BDD handle, only meaningful within the
-	// process that produced it.
-	Cond bdd.Node `json:"cond"`
+	// process that produced it — and, under the parallel engine, only
+	// within the run (handle numbering depends on scheduling), so it is
+	// excluded from the JSON wire format to keep reports byte-identical
+	// across worker counts.
+	Cond bdd.Node `json:"-"`
 	// Prefix is a witness prefix when one is known.
 	Prefix route.Prefix `json:"prefix"`
 	// Path is the propagation or forwarding path of the witness.

@@ -70,8 +70,9 @@ func (m *Metrics) StageTotals() (expresso.Timing, int64) {
 }
 
 // WriteText renders the counters in Prometheus text exposition format.
-// queueDepth and workers are point-in-time gauges supplied by the server.
-func (m *Metrics) WriteText(w io.Writer, queueDepth, workers int) {
+// queueDepth, workers, and engineWorkers are point-in-time gauges supplied
+// by the server.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -88,6 +89,7 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers int) {
 	counter("expresso_engine_runs_total", "Verifications that entered the EPVP engine.", m.EngineRuns.Load())
 	gauge("expresso_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth))
 	gauge("expresso_workers", "Size of the worker pool.", int64(workers))
+	gauge("expresso_engine_workers", "Engine goroutines per verification job.", int64(engineWorkers))
 
 	totals, jobs := m.StageTotals()
 	stage := func(name string, d time.Duration) {

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +22,12 @@ import (
 type Config struct {
 	// Workers is the size of the worker pool (default: GOMAXPROCS).
 	Workers int
+	// EngineWorkers is the number of goroutines each verification job's
+	// symbolic engine may use (expresso.Options.Workers): 0 = GOMAXPROCS,
+	// 1 (the default) = sequential. The pool already runs Workers jobs
+	// concurrently, so raise this only when jobs are scarcer than cores —
+	// total engine goroutines approach Workers x EngineWorkers.
+	EngineWorkers int
 	// QueueDepth bounds the FIFO job queue; submissions beyond it are
 	// rejected with 503 (default: 64).
 	QueueDepth int
@@ -39,6 +47,17 @@ type Config struct {
 func (c *Config) applyDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EngineWorkers <= 0 {
+		// Sequential per job by default (the pool already saturates the
+		// cores); EXPRESSO_WORKERS overrides so CI can force the parallel
+		// engine under the race detector through the service path too.
+		c.EngineWorkers = 1
+		if env := os.Getenv("EXPRESSO_WORKERS"); env != "" {
+			if n, err := strconv.Atoi(env); err == nil && n > 0 {
+				c.EngineWorkers = n
+			}
+		}
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
@@ -258,7 +277,11 @@ func (s *Server) runJob(job *Job) {
 		defer cancel()
 	}
 	s.Metrics.EngineRuns.Add(1)
-	rep, err := s.runVerify(ctx, job.configText, job.opts)
+	opts := job.opts
+	if opts.Workers == 0 {
+		opts.Workers = s.cfg.EngineWorkers
+	}
+	rep, err := s.runVerify(ctx, job.configText, opts)
 	now := time.Now()
 	switch {
 	case err == nil:
@@ -425,5 +448,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers)
+	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers)
 }

@@ -9,7 +9,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/expresso-verify/expresso/internal/bdd"
 	"github.com/expresso-verify/expresso/internal/epvp"
@@ -91,14 +94,19 @@ type Result struct {
 	// paper's datasets).
 	DataVarsPerNeighbor map[string]int
 
-	eng      *epvp.Engine
-	ctx      context.Context
-	varBase  int
+	eng     *epvp.Engine
+	ctx     context.Context
+	varBase int
+
+	varsMu   sync.Mutex
 	varsUsed map[int]bool // data-plane variables actually referenced
 
 	// convCache memoizes RIB-entry conversion by the route's U handle: a
 	// route's prefix-environment set is typically unchanged as it
-	// propagates, so the same U appears in many routers' RIBs.
+	// propagates, so the same U appears in many routers' RIBs. Guarded by
+	// convMu: conversions are pure functions of U, so a duplicated
+	// computation by two racing workers is wasted work, never wrong.
+	convMu    sync.Mutex
 	convCache map[bdd.Node][]convEntry
 }
 
@@ -134,14 +142,24 @@ func RunContext(ctx context.Context, eng *epvp.Engine, cp *epvp.Result) (*Result
 	// neighbor-major order would make those unions exponential.
 	n := len(eng.Net.Externals)
 	r.varBase = eng.Space.M.AddVars(33 * n)
-	for _, v := range eng.Net.Internals {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		r.FIBs[v] = r.buildFIB(v, cp.Best[v])
+	workers := eng.WorkerCount()
+
+	// FIB compilation is independent per router (it reads only that
+	// router's converged RIB), so it fans out across the worker pool; the
+	// reduction below assembles the map in router order.
+	internals := eng.Net.Internals
+	fibs := make([]*FIB, len(internals))
+	err := r.each(workers, len(internals), func(sp *symbolic.Space, i int) {
+		fibs[i] = r.buildFIB(sp, internals[i], cp.Best[internals[i]])
+	})
+	if err != nil {
+		return nil, err
 	}
-	r.forwardAll()
-	if err := ctx.Err(); err != nil {
+	for i, v := range internals {
+		r.FIBs[v] = fibs[i]
+	}
+
+	if err := r.forwardAll(workers); err != nil {
 		return nil, err
 	}
 	for v := range r.varsUsed {
@@ -149,6 +167,43 @@ func RunContext(ctx context.Context, eng *epvp.Engine, cp *epvp.Result) (*Result
 		r.DataVarsPerNeighbor[eng.Net.Externals[i]]++
 	}
 	return r, nil
+}
+
+// each runs fn for indices 0..n-1 on up to workers goroutines, each with a
+// forked symbolic space (private BDD op caches over the shared node table).
+// With workers <= 1 it runs inline on the engine's own space — the
+// sequential reference path. Returns the context's error if cancelled.
+func (r *Result) each(workers, n int, fn func(sp *symbolic.Space, i int)) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := r.ctx.Err(); err != nil {
+				return err
+			}
+			fn(r.eng.Space, i)
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var cursor atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		sp := r.eng.Space.Fork()
+		go func(sp *symbolic.Space) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || r.ctx.Err() != nil {
+					return
+				}
+				fn(sp, i)
+			}
+		}(sp)
+	}
+	wg.Wait()
+	return r.ctx.Err()
 }
 
 // dataVar returns the data-plane advertiser variable n_i^l for neighbor
@@ -165,8 +220,8 @@ func (r *Result) DataVar(neighbor string, length int) int {
 // convertRoute compiles one symbolic RIB entry into per-length FIB entries
 // (§5.1): split U by prefix length, free the host and length bits, and
 // rename each control-plane advertiser variable n_i to n_i^l.
-func (r *Result) convertRoute(sr *symbolic.Route) []fibEntry {
-	conv := r.convertU(sr.U)
+func (r *Result) convertRoute(sp *symbolic.Space, sr *symbolic.Route) []fibEntry {
+	conv := r.convertU(sp, sr.U)
 	out := make([]fibEntry, len(conv))
 	for i, c := range conv {
 		out[i] = fibEntry{length: c.length, admin: route.ProtoBGP.AdminDistance(), match: c.match, port: sr.NextHop}
@@ -176,11 +231,14 @@ func (r *Result) convertRoute(sr *symbolic.Route) []fibEntry {
 
 // convertU compiles a prefix-environment set into per-length data-plane
 // match predicates, memoized on the U handle.
-func (r *Result) convertU(u bdd.Node) []convEntry {
-	if cached, ok := r.convCache[u]; ok {
+func (r *Result) convertU(sp *symbolic.Space, u bdd.Node) []convEntry {
+	r.convMu.Lock()
+	cached, ok := r.convCache[u]
+	r.convMu.Unlock()
+	if ok {
 		return cached
 	}
-	s := r.eng.Space
+	s := sp
 	var out []convEntry
 	for _, l := range s.Lengths(u) {
 		// Select length l and drop the host address bits (zero in
@@ -206,7 +264,9 @@ func (r *Result) convertU(u bdd.Node) []convEntry {
 				i := cv - symbolic.FirstNbrVar
 				dv := r.dataVar(i, l)
 				mapping[cv] = dv
+				r.varsMu.Lock()
 				r.varsUsed[dv] = true
+				r.varsMu.Unlock()
 			}
 		}
 		if len(mapping) > 0 {
@@ -214,25 +274,27 @@ func (r *Result) convertU(u bdd.Node) []convEntry {
 		}
 		out = append(out, convEntry{length: l, match: m})
 	}
+	r.convMu.Lock()
 	r.convCache[u] = out
+	r.convMu.Unlock()
 	return out
 }
 
 // buildFIB assembles the router's symbolic FIB from its BGP RIB plus static
 // and connected routes, then computes effective per-port predicates under
 // longest-prefix-match and administrative-distance priority.
-func (r *Result) buildFIB(v string, rib []*symbolic.Route) *FIB {
-	s := r.eng.Space
+func (r *Result) buildFIB(sp *symbolic.Space, v string, rib []*symbolic.Route) *FIB {
+	s := sp
 	d := r.eng.Net.Devices[v]
 	var entries []fibEntry
 	for _, sr := range rib {
-		entries = append(entries, r.convertRoute(sr)...)
+		entries = append(entries, r.convertRoute(sp, sr)...)
 	}
 	for _, st := range d.Statics {
 		entries = append(entries, fibEntry{
 			length: int(st.Prefix.Len),
 			admin:  route.ProtoStatic.AdminDistance(),
-			match:  r.destPredicate(st.Prefix),
+			match:  r.destPredicate(sp, st.Prefix),
 			port:   st.NextHop,
 		})
 	}
@@ -240,7 +302,7 @@ func (r *Result) buildFIB(v string, rib []*symbolic.Route) *FIB {
 		entries = append(entries, fibEntry{
 			length: int(itf.Prefix.Len),
 			admin:  route.ProtoConnected.AdminDistance(),
-			match:  r.destPredicate(itf.Prefix),
+			match:  r.destPredicate(sp, itf.Prefix),
 			port:   "", // deliver locally
 		})
 	}
@@ -268,55 +330,70 @@ func (r *Result) buildFIB(v string, rib []*symbolic.Route) *FIB {
 			if _, ok := perPort[entries[k].port]; !ok {
 				order = append(order, entries[k].port)
 			}
-			perPort[entries[k].port] = s.M.Or(perPort[entries[k].port], entries[k].match)
+			perPort[entries[k].port] = s.W.Or(perPort[entries[k].port], entries[k].match)
 		}
 		groupUnion := bdd.False
 		for _, port := range order {
 			match := perPort[port]
-			groupUnion = s.M.Or(groupUnion, match)
-			eff := s.M.Diff(match, covered)
+			groupUnion = s.W.Or(groupUnion, match)
+			eff := s.W.Diff(match, covered)
 			if eff == bdd.False {
 				continue
 			}
 			if port == "" {
-				fib.Arrive = s.M.Or(fib.Arrive, eff)
+				fib.Arrive = s.W.Or(fib.Arrive, eff)
 			} else {
-				fib.PortPred[port] = s.M.Or(fib.PortPred[port], eff)
+				fib.PortPred[port] = s.W.Or(fib.PortPred[port], eff)
 			}
 		}
-		covered = s.M.Or(covered, groupUnion)
+		covered = s.W.Or(covered, groupUnion)
 		i = j
 	}
-	fib.BlackHole = s.M.Not(covered)
+	fib.BlackHole = s.W.Not(covered)
 	return fib
 }
 
 // destPredicate is the packet-destination predicate of a concrete prefix:
 // the high Len bits fixed, host bits free.
-func (r *Result) destPredicate(p route.Prefix) bdd.Node {
-	s := r.eng.Space
+func (r *Result) destPredicate(sp *symbolic.Space, p route.Prefix) bdd.Node {
 	n := bdd.True
 	for b := 0; b < int(p.Len); b++ {
 		if p.Addr&(1<<(31-b)) != 0 {
-			n = s.M.And(n, s.M.Var(b))
+			n = sp.W.And(n, sp.M.Var(b))
 		} else {
-			n = s.M.And(n, s.M.NVar(b))
+			n = sp.W.And(n, sp.M.NVar(b))
 		}
 	}
 	return n
 }
 
 // DestPredicate exposes destPredicate for property checks.
-func (r *Result) DestPredicate(p route.Prefix) bdd.Node { return r.destPredicate(p) }
+func (r *Result) DestPredicate(p route.Prefix) bdd.Node {
+	return r.destPredicate(r.eng.Space, p)
+}
 
 // forwardAll injects a fully symbolic packet at every node (internal and
 // external) and collects PECs. Packets entering from an external neighbor
 // traverse exactly the tree of its first internal hop (the model applies no
 // ingress filtering), so external injections are derived from the internal
 // ones by prepending the neighbor to the path instead of re-exploring.
-func (r *Result) forwardAll() {
-	for _, v := range r.eng.Net.Internals {
-		r.forward(v, bdd.True, []string{v})
+func (r *Result) forwardAll(workers int) error {
+	// Each injection point's traversal only reads the (now immutable) FIBs,
+	// so start nodes fan out across the pool; per-start PEC slices are
+	// concatenated in injection order, and coalescePECs sorts by path, so
+	// the final list is independent of scheduling.
+	internals := r.eng.Net.Internals
+	perStart := make([][]*PEC, len(internals))
+	err := r.each(workers, len(internals), func(sp *symbolic.Space, i int) {
+		var out []*PEC
+		r.forward(sp, internals[i], bdd.True, []string{internals[i]}, &out)
+		perStart[i] = out
+	})
+	if err != nil {
+		return err
+	}
+	for _, out := range perStart {
+		r.PECs = append(r.PECs, out...)
 	}
 	r.coalescePECs()
 	byStart := map[string][]*PEC{}
@@ -336,19 +413,19 @@ func (r *Result) forwardAll() {
 	}
 	// Deterministic order, merge identical (path, final) classes.
 	r.coalescePECs()
+	return nil
 }
 
-func (r *Result) forward(v string, pkt bdd.Node, path []string) {
-	s := r.eng.Space
+func (r *Result) forward(sp *symbolic.Space, v string, pkt bdd.Node, path []string, out *[]*PEC) {
 	fib := r.FIBs[v]
 	if pkt == bdd.False || r.ctx.Err() != nil {
 		return
 	}
-	if p := s.M.And(pkt, fib.Arrive); p != bdd.False {
-		r.PECs = append(r.PECs, &PEC{Pkt: p, Path: append([]string(nil), path...), Final: Arrive})
+	if p := sp.W.And(pkt, fib.Arrive); p != bdd.False {
+		*out = append(*out, &PEC{Pkt: p, Path: append([]string(nil), path...), Final: Arrive})
 	}
-	if p := s.M.And(pkt, fib.BlackHole); p != bdd.False {
-		r.PECs = append(r.PECs, &PEC{Pkt: p, Path: append([]string(nil), path...), Final: BlackHole})
+	if p := sp.W.And(pkt, fib.BlackHole); p != bdd.False {
+		*out = append(*out, &PEC{Pkt: p, Path: append([]string(nil), path...), Final: BlackHole})
 	}
 	ports := make([]string, 0, len(fib.PortPred))
 	for port := range fib.PortPred {
@@ -356,20 +433,20 @@ func (r *Result) forward(v string, pkt bdd.Node, path []string) {
 	}
 	sort.Strings(ports)
 	for _, port := range ports {
-		p := s.M.And(pkt, fib.PortPred[port])
+		p := sp.W.And(pkt, fib.PortPred[port])
 		if p == bdd.False {
 			continue
 		}
 		next := append(append([]string(nil), path...), port)
 		if !r.eng.Net.IsInternal(port) {
-			r.PECs = append(r.PECs, &PEC{Pkt: p, Path: next, Final: Exit})
+			*out = append(*out, &PEC{Pkt: p, Path: next, Final: Exit})
 			continue
 		}
 		if onPath(path, port) {
-			r.PECs = append(r.PECs, &PEC{Pkt: p, Path: next, Final: Loop})
+			*out = append(*out, &PEC{Pkt: p, Path: next, Final: Loop})
 			continue
 		}
-		r.forward(port, p, next)
+		r.forward(sp, port, p, next, out)
 	}
 }
 
@@ -382,19 +459,34 @@ func onPath(path []string, node string) bool {
 	return false
 }
 
+// pathKey encodes a node path unambiguously by length-prefixing each hop:
+// a plain strings.Join with a delimiter would merge distinct paths whenever
+// a node name contains the delimiter.
+func pathKey(path []string) string {
+	var sb strings.Builder
+	for _, h := range path {
+		sb.WriteString(strconv.Itoa(len(h)))
+		sb.WriteByte(':')
+		sb.WriteString(h)
+	}
+	return sb.String()
+}
+
 func (r *Result) coalescePECs() {
 	type key struct {
 		path  string
 		final FinalState
 	}
-	merged := map[key]bdd.Node{}
+	merged := map[key]*PEC{}
 	var order []key
 	for _, pec := range r.PECs {
-		k := key{strings.Join(pec.Path, ">"), pec.Final}
-		if _, ok := merged[k]; !ok {
+		k := key{pathKey(pec.Path), pec.Final}
+		if ex, ok := merged[k]; ok {
+			ex.Pkt = r.eng.Space.W.Or(ex.Pkt, pec.Pkt)
+		} else {
+			merged[k] = &PEC{Pkt: pec.Pkt, Path: pec.Path, Final: pec.Final}
 			order = append(order, k)
 		}
-		merged[k] = r.eng.Space.M.Or(merged[k], pec.Pkt)
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].path != order[j].path {
@@ -404,7 +496,7 @@ func (r *Result) coalescePECs() {
 	})
 	out := make([]*PEC, 0, len(order))
 	for _, k := range order {
-		out = append(out, &PEC{Pkt: merged[k], Path: strings.Split(k.path, ">"), Final: k.final})
+		out = append(out, merged[k])
 	}
 	r.PECs = out
 }
@@ -432,11 +524,11 @@ func (r *Result) PECsFrom(u, to string) []*PEC {
 // "preferred egress is available" side of EgressPreference.
 func (r *Result) AvailPredicate(ext string, dest route.Prefix) bdd.Node {
 	s := r.eng.Space
-	destPkt := r.destPredicate(dest)
+	destPkt := r.destPredicate(s, dest)
 	avail := bdd.False
 	for _, u := range r.eng.Net.Neighbors(ext) {
 		for _, cand := range r.eng.ImportCandidates(u, ext) {
-			for _, entry := range r.convertRoute(cand) {
+			for _, entry := range r.convertRoute(s, cand) {
 				if overlap := s.M.And(entry.match, destPkt); overlap != bdd.False {
 					avail = s.M.Or(avail, r.CondOfPkt(overlap))
 				}

@@ -93,11 +93,3 @@ func TestExternalInjectionSharesInternalTree(t *testing.T) {
 	}
 	_ = eng
 }
-
-func pathKey(p []string) string {
-	out := ""
-	for _, s := range p {
-		out += s + ">"
-	}
-	return out
-}

@@ -43,7 +43,12 @@ type Route struct {
 	// FromEBGP records whether the last hop was an eBGP session.
 	FromEBGP bool
 
-	keyCache string // memoized Key(); cleared by Clone
+	// Memoized Key()/AttrsKey(); cleared by Clone. A route must be sealed
+	// (Seal, or a first Key call by its creating goroutine) before it is
+	// shared across goroutines; after that, Key and AttrsKey are pure
+	// reads and safe to call concurrently.
+	keyCache   string
+	attrsCache string
 }
 
 // Clone returns a copy sharing the immutable BDD/automaton handles.
@@ -51,7 +56,16 @@ func (r *Route) Clone() *Route {
 	out := *r
 	out.Path = append([]string(nil), r.Path...)
 	out.keyCache = ""
+	out.attrsCache = ""
 	return &out
+}
+
+// Seal memoizes the route's keys, making subsequent Key/AttrsKey calls
+// read-only. Call it from the goroutine that created the route before
+// publishing it to shared state (RIBs, memo tables); mutating a sealed
+// route is a bug.
+func (r *Route) Seal() {
+	_ = r.Key()
 }
 
 // LearnedFrom returns the hop the route was received from, or "" for a
@@ -82,14 +96,20 @@ func (r *Route) SyncASLen() {
 
 // AttrsKey is a canonical string for everything except U, used to coalesce
 // symbolic routes with identical attributes and to detect fixed points.
+// The result is memoized (the fixed-point loop calls it once per candidate
+// per round); callers must not mutate a route after its AttrsKey has been
+// taken (use Clone).
 func (r *Route) AttrsKey() string {
-	asp := "-"
-	if r.ASPath != nil {
-		asp = r.ASPath.Signature()
+	if r.attrsCache == "" {
+		asp := "-"
+		if r.ASPath != nil {
+			asp = r.ASPath.Signature()
+		}
+		r.attrsCache = fmt.Sprintf("%s|%d|%d|%d|%d|%d|%s|%s|%s|%v",
+			asp, r.ASLen, r.Comm, r.LocalPref, r.MED, r.Origin,
+			r.NextHop, r.Originator, strings.Join(r.Path, ">"), r.FromEBGP)
 	}
-	return fmt.Sprintf("%s|%d|%d|%d|%d|%d|%s|%s|%s|%v",
-		asp, r.ASLen, r.Comm, r.LocalPref, r.MED, r.Origin,
-		r.NextHop, r.Originator, strings.Join(r.Path, ">"), r.FromEBGP)
+	return r.attrsCache
 }
 
 // Key is AttrsKey plus U, identifying the route completely. The result is
@@ -178,7 +198,7 @@ func Merge(s *Space, routes []*Route) []*Route {
 		}
 		k := r.AttrsKey()
 		if ex, ok := byAttrs[k]; ok {
-			ex.U = s.M.Or(ex.U, r.U)
+			ex.U = s.W.Or(ex.U, r.U)
 		} else {
 			c := r.Clone()
 			byAttrs[k] = c
@@ -206,8 +226,8 @@ func Merge(s *Space, routes []*Route) []*Route {
 		classUnion := bdd.False
 		for k := i; k < j; k++ {
 			r := sortStable[k]
-			classUnion = s.M.Or(classUnion, r.U)
-			u := s.M.Diff(r.U, blocked)
+			classUnion = s.W.Or(classUnion, r.U)
+			u := s.W.Diff(r.U, blocked)
 			if u == bdd.False {
 				continue
 			}
@@ -215,7 +235,7 @@ func Merge(s *Space, routes []*Route) []*Route {
 			nr.U = u
 			out = append(out, nr)
 		}
-		blocked = s.M.Or(blocked, classUnion)
+		blocked = s.W.Or(blocked, classUnion)
 		i = j
 	}
 	sortRoutes(out)
@@ -235,6 +255,44 @@ func sortRoutes(rs []*Route) {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sorted := make([]*Route, len(rs))
+	for i, j := range idx {
+		sorted[i] = rs[j]
+	}
+	copy(rs, sorted)
+}
+
+// CanonicalKey is a run-independent ordering key for a route: AttrsKey
+// with the community handle replaced by the node's structural fingerprint.
+// Handle numbers depend on node-creation order, which the parallel engine
+// does not control, so any ordering that leaks into a Report must go
+// through this key rather than Key/AttrsKey. cs must be the community
+// space r.Comm lives in.
+func (r *Route) CanonicalKey(cs *community.Space) string {
+	asp := "-"
+	if r.ASPath != nil {
+		asp = r.ASPath.Signature()
+	}
+	hi, lo := cs.M.Fingerprint(r.Comm)
+	return fmt.Sprintf("%s|%d|%016x%016x|%d|%d|%d|%s|%s|%s|%v",
+		asp, r.ASLen, hi, lo, r.LocalPref, r.MED, r.Origin,
+		r.NextHop, r.Originator, strings.Join(r.Path, ">"), r.FromEBGP)
+}
+
+// SortCanonical stably sorts routes by CanonicalKey. It is applied when
+// RIBs are assembled into a Result so that reports are byte-identical
+// across worker counts and schedules; routes with equal keys (same
+// attributes, different U) keep their deterministic input order.
+func SortCanonical(cs *community.Space, rs []*Route) {
+	keys := make([]string, len(rs))
+	for i, r := range rs {
+		keys[i] = r.CanonicalKey(cs)
+	}
+	idx := make([]int, len(rs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
 	sorted := make([]*Route, len(rs))
 	for i, j := range idx {
 		sorted[i] = rs[j]

@@ -30,8 +30,16 @@ const (
 
 // Space is the control-plane symbolic universe for a network with a fixed
 // number of external neighbors.
+//
+// M is the shared node universe (safe for concurrent hash-consing); W is
+// the operation view holding the memo for ITE-based connectives. A Space
+// must be used by one goroutine at a time; parallel phases call Fork to get
+// a shallow copy with a private Worker (Sylvan-style per-worker op caches)
+// over the same manager, so BDD handles remain interchangeable between
+// forks.
 type Space struct {
 	M            *bdd.Manager
+	W            *bdd.Worker
 	NumNeighbors int
 
 	addrVars []int
@@ -47,6 +55,7 @@ func NewSpace(n int) *Space {
 		M:            bdd.New(FirstNbrVar + n),
 		NumNeighbors: n,
 	}
+	s.W = s.M.DefaultWorker()
 	s.addrVars = make([]int, AddrBits)
 	for i := range s.addrVars {
 		s.addrVars[i] = i
@@ -60,6 +69,16 @@ func NewSpace(n int) *Space {
 	}
 	s.valid = s.computeValid()
 	return s
+}
+
+// Fork returns a shallow copy of the space whose operations run through a
+// private bdd.Worker. Forks share the node universe (handles are
+// interchangeable) but never contend on an op cache; each fork must be
+// used by a single goroutine at a time.
+func (s *Space) Fork() *Space {
+	c := *s
+	c.W = s.M.NewWorker()
+	return &c
 }
 
 // NbrVar returns the advertiser variable of neighbor i.
@@ -90,11 +109,11 @@ func (s *Space) computeValid() bdd.Node {
 	for l := 0; l <= 32; l++ {
 		t := s.lenCubes[l]
 		for b := l; b < AddrBits; b++ {
-			t = s.M.And(t, s.M.NVar(s.addrVars[b]))
+			t = s.W.And(t, s.M.NVar(s.addrVars[b]))
 		}
 		terms = append(terms, t)
 	}
-	return s.M.Or(terms...)
+	return s.W.Or(terms...)
 }
 
 // Valid returns the canonical-prefix predicate (the universe of all
@@ -103,7 +122,7 @@ func (s *Space) Valid() bdd.Node { return s.valid }
 
 // PrefixBDD returns the predicate identifying exactly prefix p.
 func (s *Space) PrefixBDD(p route.Prefix) bdd.Node {
-	return s.M.And(
+	return s.W.And(
 		s.M.UintCube(s.addrVars, uint64(p.Addr)),
 		s.lenCubes[p.Len],
 	)
@@ -128,7 +147,7 @@ func (s *Space) PrefixesBDD(ps []route.Prefix) bdd.Node {
 		next := terms[:0]
 		for i := 0; i < len(terms); i += 2 {
 			if i+1 < len(terms) {
-				next = append(next, s.M.Or(terms[i], terms[i+1]))
+				next = append(next, s.W.Or(terms[i], terms[i+1]))
 			} else {
 				next = append(next, terms[i])
 			}
@@ -149,21 +168,21 @@ func (s *Space) PrefixMatchBDD(m config.PrefixMatch) bdd.Node {
 	for b := 0; b < int(m.Prefix.Len); b++ {
 		bit := m.Prefix.Addr&(1<<(31-b)) != 0
 		if bit {
-			high = s.M.And(high, s.M.Var(s.addrVars[b]))
+			high = s.W.And(high, s.M.Var(s.addrVars[b]))
 		} else {
-			high = s.M.And(high, s.M.NVar(s.addrVars[b]))
+			high = s.W.And(high, s.M.NVar(s.addrVars[b]))
 		}
 	}
 	terms := make([]bdd.Node, 0, int(m.LE)-int(m.GE)+1)
 	for l := int(m.GE); l <= int(m.LE); l++ {
-		t := s.M.And(high, s.lenCubes[l])
+		t := s.W.And(high, s.lenCubes[l])
 		// Canonical form: bits at or below the length are zero.
 		for b := l; b < AddrBits; b++ {
-			t = s.M.And(t, s.M.NVar(s.addrVars[b]))
+			t = s.W.And(t, s.M.NVar(s.addrVars[b]))
 		}
 		terms = append(terms, t)
 	}
-	return s.M.Or(terms...)
+	return s.W.Or(terms...)
 }
 
 // Cond extracts the advertiser condition of a predicate: the paper's
@@ -172,20 +191,20 @@ func (s *Space) Cond(u bdd.Node) bdd.Node {
 	vars := make([]int, 0, FirstNbrVar)
 	vars = append(vars, s.addrVars...)
 	vars = append(vars, s.lenVars...)
-	return s.M.Exists(u, vars...)
+	return s.W.Exists(u, vars...)
 }
 
 // PrefixPart extracts the prefix part of a predicate: existential
 // quantification of the advertiser variables.
 func (s *Space) PrefixPart(u bdd.Node) bdd.Node {
-	return s.M.Exists(u, s.NbrVars()...)
+	return s.W.Exists(u, s.NbrVars()...)
 }
 
 // Lengths returns the sorted prefix lengths present in u.
 func (s *Space) Lengths(u bdd.Node) []int {
 	var out []int
 	for l := 0; l <= 32; l++ {
-		if s.M.And(u, s.lenCubes[l]) != bdd.False {
+		if s.W.And(u, s.lenCubes[l]) != bdd.False {
 			out = append(out, l)
 		}
 	}

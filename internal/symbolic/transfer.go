@@ -94,7 +94,7 @@ func (ctx CompileContext) nodeGuard(n *config.PolicyNode) Guard {
 		for i, m := range n.MatchPrefixes {
 			terms[i] = ctx.Space.PrefixMatchBDD(m)
 		}
-		g.Prefix = ctx.Space.M.Or(terms...)
+		g.Prefix = ctx.Space.W.Or(terms...)
 	}
 	if len(n.MatchCommunities) > 0 {
 		if ctx.SymbolicCommunities {
@@ -117,22 +117,22 @@ func (ctx CompileContext) nodeGuard(n *config.PolicyNode) Guard {
 // split intersects guard u with match m, returning the hit product and the
 // disjoint miss products: ¬(P∧C∧A) expanded as (¬P) ∨ (P∧¬C) ∨ (P∧C∧¬A).
 func (ctx CompileContext) split(u, m Guard) (hit Guard, misses []Guard) {
-	pm := ctx.Space.M
+	pw := ctx.Space.W
 	hit = Guard{
-		Prefix: pm.And(u.Prefix, m.Prefix),
-		Comm:   ctx.Comm.M.And(u.Comm, m.Comm),
+		Prefix: pw.And(u.Prefix, m.Prefix),
+		Comm:   ctx.Comm.W.And(u.Comm, m.Comm),
 		ASPath: intersectASPath(u.ASPath, m.ASPath),
 	}
 	// Miss on prefix.
 	misses = append(misses, Guard{
-		Prefix: pm.Diff(u.Prefix, m.Prefix),
+		Prefix: pw.Diff(u.Prefix, m.Prefix),
 		Comm:   u.Comm,
 		ASPath: u.ASPath,
 	})
 	// Hit prefix, miss community.
 	misses = append(misses, Guard{
 		Prefix: hit.Prefix,
-		Comm:   ctx.Comm.M.Diff(u.Comm, m.Comm),
+		Comm:   ctx.Comm.W.Diff(u.Comm, m.Comm),
 		ASPath: u.ASPath,
 	})
 	// Hit prefix and community, miss AS path.
@@ -197,11 +197,11 @@ func (t *Transfer) Apply(ctx CompileContext, r *Route) []*Route {
 // empty. The advertiser variables of r.U are untouched (guards only
 // constrain address and length bits).
 func constrain(ctx CompileContext, r *Route, g Guard) *Route {
-	u := ctx.Space.M.And(r.U, g.Prefix)
+	u := ctx.Space.W.And(r.U, g.Prefix)
 	if u == bdd.False {
 		return nil
 	}
-	comm := ctx.Comm.M.And(r.Comm, g.Comm)
+	comm := ctx.Comm.W.And(r.Comm, g.Comm)
 	if comm == bdd.False {
 		return nil
 	}

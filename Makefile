@@ -10,12 +10,21 @@ GO ?= go
 # engine under the race detector.
 RACE_WORKERS ?= 4
 
-.PHONY: ci vet build test race race-parallel race-service bench-quick
+.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental
 
-ci: vet build race race-parallel
+ci: vet staticcheck build race race-parallel
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. The binary is not vendored and CI images may
+# not have it; degrade to a note instead of failing the gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -25,15 +34,18 @@ test:
 	$(GO) test ./...
 
 # Full race-enabled run (slower; the service package must stay race-clean).
+# Race runtime is ~10-20x on a single-core box, so the timeout carries
+# headroom over the 10m default; the full-network profile test skips
+# itself under race (prof_test.go) — it alone would need ~30min.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # The packages with parallel hot paths, race-checked with the concurrent
 # engine forced on for every verification (not just tests that opt in).
 # The root package's own determinism/race tests already pin Workers
 # explicitly, so they are covered by the plain `race` run above.
 race-parallel:
-	EXPRESSO_WORKERS=$(RACE_WORKERS) $(GO) test -race -count=1 ./internal/bdd/ ./internal/epvp/ ./internal/spf/ ./internal/service/
+	EXPRESSO_WORKERS=$(RACE_WORKERS) $(GO) test -race -timeout 30m -count=1 ./internal/bdd/ ./internal/epvp/ ./internal/spf/ ./internal/service/
 
 # Just the verification daemon under the race detector.
 race-service:
@@ -43,3 +55,13 @@ race-service:
 # sweeps are cmd/expresso-bench. Recorded numbers: BENCH_pr2.json.
 bench-quick:
 	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1' -benchmem -benchtime=3x
+
+# Cold-vs-warm incremental verification on region 1: BenchmarkVerifyRegion1
+# is the cold baseline (full Load+SRC per op), BenchmarkVerifyRegion1WarmDelta
+# re-verifies a one-router delta warm-started from the cached fixed point.
+# Records both into BENCH_pr3.json.
+bench-incremental:
+	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1$$|BenchmarkVerifyRegion1Warm(Delta|Local)$$' \
+		-benchmem -benchtime=3x | tee /tmp/bench_incremental.out
+	awk -f scripts/bench_incremental.awk /tmp/bench_incremental.out > BENCH_pr3.json
+	@cat BENCH_pr3.json

@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -89,6 +90,40 @@ func loadNetwork(file, dir string) *expresso.Network {
 	}
 }
 
+// loadConfigText returns the raw configuration text: the file's contents,
+// or the sorted concatenation of a directory's *.cfg files (the same
+// sections LoadDir parses). The staged verifier digests this text, so two
+// invocations over unchanged configs produce identical stage keys.
+func loadConfigText(file, dir string) string {
+	switch {
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return string(data)
+	case dir != "":
+		paths, err := filepath.Glob(filepath.Join(dir, "*.cfg"))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sort.Strings(paths)
+		var b strings.Builder
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			b.Write(data)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	default:
+		fatalf("one of -file or -dir is required")
+		return ""
+	}
+}
+
 func cmdCheck(args []string) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	file := fs.String("file", "", "configuration file")
@@ -99,9 +134,9 @@ func cmdCheck(args []string) {
 	verbose := fs.Bool("v", false, "print every violation")
 	asJSON := fs.Bool("json", false, "print the report as JSON instead of the table")
 	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	explainCache := fs.Bool("explain-cache", false, "run through the staged verifier and print per-stage provenance (status, key, duration)")
 	fs.Parse(args)
 
-	net := loadNetwork(*file, *dir)
 	opts := expresso.Options{Workers: *workers}
 	if *minus {
 		opts.Mode = expresso.ExpressoMinusMode()
@@ -124,12 +159,30 @@ func cmdCheck(args []string) {
 		opts.BTE = c
 	}
 
-	rep, err := net.Verify(opts)
+	var (
+		rep  *expresso.Report
+		info *expresso.RunInfo
+		err  error
+	)
+	if *explainCache {
+		text := loadConfigText(*file, *dir)
+		v := expresso.NewVerifier(expresso.VerifierConfig{})
+		rep, info, err = v.VerifyText(context.Background(), text, opts)
+	} else {
+		rep, err = loadNetwork(*file, *dir).Verify(opts)
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if *asJSON {
-		out, err := json.MarshalIndent(rep, "", "  ")
+		var payload any = rep
+		if info != nil {
+			payload = struct {
+				Report  *expresso.Report  `json:"report"`
+				RunInfo *expresso.RunInfo `json:"run_info"`
+			}{rep, info}
+		}
+		out, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -138,6 +191,20 @@ func cmdCheck(args []string) {
 			os.Exit(1)
 		}
 		return
+	}
+	if info != nil {
+		fmt.Printf("digest:  %s\n", info.Digest)
+		for _, st := range info.Stages {
+			key := st.Key
+			if len(key) > 48 {
+				key = key[:48] + "…"
+			}
+			line := fmt.Sprintf("  %-20s %-4s %-10v %s", st.Stage, st.Status, st.Duration.Round(time.Microsecond), key)
+			if st.Note != "" {
+				line += "  (" + st.Note + ")"
+			}
+			fmt.Println(line)
+		}
 	}
 	s := rep.Stats
 	fmt.Printf("network: %d nodes, %d links, %d peers, %d prefixes, %d config lines\n",

@@ -30,9 +30,9 @@ import (
 
 	"github.com/expresso-verify/expresso/internal/config"
 	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/pipeline"
 	"github.com/expresso-verify/expresso/internal/properties"
 	"github.com/expresso-verify/expresso/internal/route"
-	"github.com/expresso-verify/expresso/internal/spf"
 	"github.com/expresso-verify/expresso/internal/topology"
 )
 
@@ -87,7 +87,25 @@ type Options struct {
 	// to a positive integer, overrides a zero value (used by CI to force
 	// the parallel paths under the race detector).
 	Workers int
+	// GC controls memory reclamation between the SRC fixed point and the
+	// analysis stages. The default (GCAuto) drops the engine's ITE memo
+	// and forces a collection only under heap pressure, so small
+	// snapshots on the service hot path no longer pay a forced GC per
+	// request; GCAlways restores the old unconditional behavior and
+	// GCNever disables reclamation. Like Workers, GC changes how a report
+	// is produced, never its content, so it is excluded from CacheKey.
+	GC GCMode
 }
+
+// GCMode re-exports the pipeline's post-SRC reclamation policy.
+type GCMode = pipeline.GCMode
+
+// Reclamation policies for Options.GC.
+const (
+	GCAuto   = pipeline.GCAuto
+	GCAlways = pipeline.GCAlways
+	GCNever  = pipeline.GCNever
+)
 
 func (o *Options) normalize() {
 	if o.Mode.IsZero() {
@@ -108,9 +126,14 @@ func (o *Options) normalize() {
 // CacheKey renders the normalized options deterministically (mode flags,
 // sorted property set, BTE community). Two Options values with the same key
 // request the same verification, so services may key result caches on it
-// together with a digest of the configuration text. Workers is deliberately
-// absent: worker count changes how fast a report is produced, not its
-// content, so cached results are shared across worker settings.
+// together with a digest of the configuration text. Workers and GC are
+// deliberately absent: they change how fast a report is produced, not its
+// content, so cached results are shared across those settings.
+//
+// Every field is rendered explicitly — the mode through Mode.Key, the rest
+// by hand — never through a %+v of a whole struct, whose output shifts
+// with any field rename or reorder and would silently invalidate every
+// key. The golden test in expresso_pipeline_test.go pins the format.
 func (o Options) CacheKey() string {
 	o.Properties = append([]Kind(nil), o.Properties...)
 	o.normalize()
@@ -119,7 +142,9 @@ func (o Options) CacheKey() string {
 		props[i] = string(p)
 	}
 	sort.Strings(props)
-	return fmt.Sprintf("mode=%+v|props=%s|bte=%d", o.Mode, strings.Join(props, ","), o.BTE)
+	return "mode=" + o.Mode.Key() +
+		"|props=" + strings.Join(props, ",") +
+		"|bte=" + strconv.FormatUint(uint64(o.BTE), 10)
 }
 
 // ParseProperty maps a property name to its Kind. It accepts both the short
@@ -157,6 +182,9 @@ func (o *Options) wants(k Kind) bool {
 // Timing records per-stage wall-clock durations (Table 3's columns).
 // Durations marshal as integer nanoseconds.
 type Timing struct {
+	// Load is the parse+build time (0 when verifying a pre-loaded
+	// Network, whose load happened outside the run).
+	Load               time.Duration `json:"load_ns"`
 	SRC                time.Duration `json:"src_ns"`
 	RoutingAnalysis    time.Duration `json:"routing_analysis_ns"`
 	SPF                time.Duration `json:"spf_ns"`
@@ -166,9 +194,10 @@ type Timing struct {
 	Workers int `json:"workers"`
 }
 
-// Total sums the stages.
+// Total sums every stage duration. A new stage field must be added here:
+// the reflection test TestTimingTotalCoversAllStages fails otherwise.
 func (t Timing) Total() time.Duration {
-	return t.SRC + t.RoutingAnalysis + t.SPF + t.ForwardingAnalysis
+	return t.Load + t.SRC + t.RoutingAnalysis + t.SPF + t.ForwardingAnalysis
 }
 
 // Report is the outcome of a verification run.
@@ -242,84 +271,91 @@ func (n *Network) Verify(opts Options) (*Report, error) {
 }
 
 // VerifyContext is Verify with cancellation: the context is checked inside
-// the EPVP fixed-point iteration and the SPF traversal, so a cancelled or
-// expired context aborts the run promptly and returns ctx.Err() instead of
-// finishing minutes of symbolic simulation nobody is waiting for.
+// the EPVP fixed-point iteration, the SPF traversal, and between the
+// pipeline stages, so a cancelled or expired context aborts the run
+// promptly and returns ctx.Err() instead of finishing minutes of symbolic
+// simulation nobody is waiting for.
+//
+// VerifyContext is a thin wrapper over the staged pipeline
+// (internal/pipeline) with no cache attached: every stage runs cold, so
+// repeated calls are fully independent — the determinism tests rely on
+// that. Use a Verifier for stage-granular caching and incremental
+// (warm-start) re-verification.
 func (n *Network) VerifyContext(ctx context.Context, opts Options) (*Report, error) {
 	opts.normalize()
-	rep := &Report{Stats: n.Topo.Statistics()}
-
-	// Stage 1: symbolic route computation.
-	start := time.Now()
-	eng := epvp.New(n.Topo, opts.Mode)
-	eng.Workers = opts.Workers
-	rep.Timing.Workers = eng.WorkerCount()
-	cp, err := eng.RunContext(ctx)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	runner := &pipeline.Runner{}
+	out, err := runner.Run(ctx, opts.request(pipeline.FromNetwork(n.Topo)))
 	if err != nil {
 		return nil, err
 	}
-	rep.Timing.SRC = time.Since(start)
-	rep.Converged = cp.Converged
-	rep.Iterations = cp.Iterations
-	for _, rs := range cp.Best {
+	return assembleReport(n.Topo.Statistics(), out), nil
+}
+
+// validate rejects option combinations the pipeline cannot run. Checked
+// before any stage executes (the old monolith noticed a missing BTE only
+// after the fixed point had already been computed).
+func (o *Options) validate() error {
+	if o.wants(BlockToExternal) && o.BTE == 0 {
+		return fmt.Errorf("expresso: BlockToExternal requires Options.BTE")
+	}
+	return nil
+}
+
+// request translates normalized options into a pipeline request.
+func (o *Options) request(load *pipeline.LoadArtifact) *pipeline.Request {
+	return &pipeline.Request{
+		Load:       load,
+		Mode:       o.Mode,
+		Properties: o.Properties,
+		BTE:        o.BTE,
+		Workers:    o.Workers,
+		GC:         o.GC,
+	}
+}
+
+// assembleReport builds the public Report from a pipeline outcome. The
+// violation order is the monolith's: routing analysis (leak, hijack, bte)
+// then forwarding analysis (traffic, blackhole, loop). Converged,
+// Iterations, RIBRoutes, and Timing.Workers come from the SRC artifact —
+// on a cache hit they describe the run that computed it, which keeps
+// reports deterministic regardless of where an artifact came from.
+func assembleReport(stats topology.Stats, out *pipeline.Outcome) *Report {
+	rep := &Report{Stats: stats}
+	src := out.SRC
+	rep.Converged = src.Res.Converged
+	rep.Iterations = src.Res.Iterations
+	for _, rs := range src.Res.Best {
 		rep.RIBRoutes += len(rs)
 	}
-	// The fixed point is done: drop the ITE memo (often gigabytes on the
-	// large snapshots) before the analysis stages; they rebuild what they
-	// need.
-	eng.Space.M.ClearCaches()
-	runtime.GC()
-
-	// Stage 1b: routing-property analysis.
-	start = time.Now()
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	rep.Timing.Workers = src.Workers
+	if out.Routing != nil {
+		rep.Violations = append(rep.Violations, out.Routing.Violations...)
 	}
-	if opts.wants(RouteLeakFree) {
-		rep.Violations = append(rep.Violations, properties.CheckRouteLeak(eng, cp)...)
+	if out.SPF != nil {
+		rep.PECs = len(out.SPF.Res.PECs)
 	}
-	if opts.wants(RouteHijackFree) {
-		rep.Violations = append(rep.Violations, properties.CheckRouteHijack(eng, cp)...)
+	if out.Forwarding != nil {
+		rep.Violations = append(rep.Violations, out.Forwarding.Violations...)
 	}
-	if opts.wants(BlockToExternal) {
-		if opts.BTE == 0 {
-			return nil, fmt.Errorf("expresso: BlockToExternal requires Options.BTE")
+	for _, st := range out.Stages {
+		switch st.Stage {
+		case pipeline.StageLoad:
+			rep.Timing.Load = st.Duration
+		case pipeline.StageSRC:
+			rep.Timing.SRC = st.Duration
+		case pipeline.StageRouting:
+			rep.Timing.RoutingAnalysis = st.Duration
+		case pipeline.StageSPF:
+			rep.Timing.SPF = st.Duration
+		case pipeline.StageForwarding:
+			rep.Timing.ForwardingAnalysis = st.Duration
 		}
-		rep.Violations = append(rep.Violations, properties.CheckBlockToExternal(eng, cp, opts.BTE)...)
 	}
-	rep.Timing.RoutingAnalysis = time.Since(start)
-
-	// Stage 2: symbolic packet forwarding (only if a forwarding property
-	// was requested).
-	needSPF := opts.wants(TrafficHijackFree) || opts.wants(BlackHoleFree) || opts.wants(LoopFree)
-	if needSPF {
-		start = time.Now()
-		dp, err := spf.RunContext(ctx, eng, cp)
-		if err != nil {
-			return nil, err
-		}
-		rep.Timing.SPF = time.Since(start)
-		rep.PECs = len(dp.PECs)
-
-		start = time.Now()
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if opts.wants(TrafficHijackFree) {
-			rep.Violations = append(rep.Violations, properties.CheckTrafficHijack(eng, dp)...)
-		}
-		if opts.wants(BlackHoleFree) {
-			rep.Violations = append(rep.Violations,
-				properties.CheckBlackHole(eng, dp, properties.InternalDestPredicate(eng, dp))...)
-		}
-		if opts.wants(LoopFree) {
-			rep.Violations = append(rep.Violations, properties.CheckLoop(eng, dp)...)
-		}
-		rep.Timing.ForwardingAnalysis = time.Since(start)
-	}
-
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	rep.HeapBytes = ms.HeapAlloc
-	return rep, nil
+	return rep
 }

@@ -123,6 +123,24 @@ func (a *Atoms) AtomOf(c route.Community) int {
 // Members returns the mentioned communities of atom i (nil for catch-all).
 func (a *Atoms) Members(i int) []route.Community { return a.members[i] }
 
+// Signature canonically renders the atom universe: the member communities
+// of every atom index in order. Two Atoms with equal signatures assign
+// every community the same atom index, so BDD nodes built over one
+// universe remain meaningful under the other — the compatibility check
+// behind EPVP warm-starts that reuse a prior engine's community space.
+func (a *Atoms) Signature() string {
+	var sb strings.Builder
+	for i, ms := range a.members {
+		fmt.Fprintf(&sb, "%d:", i)
+		for _, c := range ms {
+			fmt.Fprintf(&sb, "%d,", c)
+		}
+		sb.WriteByte(';')
+	}
+	fmt.Fprintf(&sb, "catchall=%d", a.CatchAll)
+	return sb.String()
+}
+
 // ExprAtoms returns the sorted atom indices whose communities the
 // expression matches. Expressions are exact unions of atoms provided they
 // participated in ComputeAtoms; this is validated and a violation panics

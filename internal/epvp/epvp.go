@@ -11,6 +11,7 @@ package epvp
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -48,6 +49,15 @@ func FullMode() Mode {
 // "use FullMode". Keep this next to the field list: if a field is added,
 // this comparison (and the zero-means-default contract) must be revisited.
 func (m Mode) IsZero() bool { return m == Mode{} }
+
+// Key renders the mode for cache keys, one field at a time, so renaming or
+// reordering fields cannot silently change every key the way a
+// fmt.Sprintf("%+v") rendering would. Keep this next to the field list: a
+// new field must be added here (the reflection test in mode_test.go fails
+// otherwise).
+func (m Mode) Key() string {
+	return fmt.Sprintf("t:%t,c:%t,a:%t", m.TrafficPolicies, m.SymbolicCommunities, m.SymbolicASPaths)
+}
 
 // Engine runs EPVP over a network.
 type Engine struct {
@@ -145,6 +155,15 @@ type Result struct {
 // New builds an engine: it allocates the symbolic spaces, computes
 // community atoms, and compiles every referenced policy.
 func New(net *topology.Network, mode Mode) *Engine {
+	e, _ := NewContext(context.Background(), net, mode)
+	return e
+}
+
+// NewContext is New with cancellation. Policy compilation dominates
+// engine construction — seconds on region-scale networks — so it is
+// checked against ctx between devices; a cancelled ctx aborts the build
+// mid-compile and returns ctx's error.
+func NewContext(ctx context.Context, net *topology.Network, mode Mode) (*Engine, error) {
 	devices := make([]*config.Device, 0, len(net.Internals))
 	for _, name := range net.Internals {
 		devices = append(devices, net.Devices[name])
@@ -158,28 +177,115 @@ func New(net *topology.Network, mode Mode) *Engine {
 		transfers: map[transferKey]*symbolic.Transfer{},
 		edgeMemo:  newEdgeMemo(),
 	}
+	if err := e.compilePoliciesReusing(ctx, nil, nil); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// compilePoliciesReusing fills the compile context, the permit-all
+// transfer, and the per-(device, policy) transfer table from e.Net and
+// e.Mode, with transfer reuse: for a device in reuse (its configuration
+// section is unchanged from prior's), the prior engine's compiled
+// transfers are adopted instead of recompiled. Transfers are pure data
+// over BDD handles, so adoption is sound exactly when both engines share
+// one node manager (the NewWarm invariant) and the device's policies are
+// textually unchanged. Policy compilation dominates warm-start cost — on
+// the region benchmark it is ~90% of a warm run — so this is what makes a
+// local delta cheap. ctx is checked once per device, making cancellation
+// latency one device's compile rather than the whole table's.
+func (e *Engine) compilePoliciesReusing(ctx context.Context, prior *Engine, reuse map[string]bool) error {
 	e.ctx = symbolic.CompileContext{
 		Space:               e.Space,
 		Comm:                e.Comm,
-		SymbolicCommunities: mode.SymbolicCommunities,
-		SymbolicASPaths:     mode.SymbolicASPaths,
+		SymbolicCommunities: e.Mode.SymbolicCommunities,
+		SymbolicASPaths:     e.Mode.SymbolicASPaths,
 	}
 	e.permitAll = symbolic.CompilePolicy(e.ctx, nil)
-	for _, name := range net.Internals {
-		d := net.Devices[name]
+	for _, name := range e.Net.Internals {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		d := e.Net.Devices[name]
+		adopt := prior != nil && reuse[name]
 		for _, p := range d.Peers {
 			for _, polName := range []string{p.Import, p.Export} {
 				if polName == "" {
 					continue
 				}
 				k := transferKey{name, polName}
-				if _, done := e.transfers[k]; !done {
-					e.transfers[k] = symbolic.CompilePolicy(e.ctx, d.Policies[polName])
+				if _, done := e.transfers[k]; done {
+					continue
 				}
+				if adopt {
+					if t, ok := prior.transfers[k]; ok {
+						e.transfers[k] = t
+						continue
+					}
+				}
+				e.transfers[k] = symbolic.CompilePolicy(e.ctx, d.Policies[polName])
 			}
 		}
 	}
-	return e
+	return nil
+}
+
+// NewWarm builds an engine for net that shares the symbolic and community
+// spaces of a prior engine, so the prior converged RIBs remain valid seeds
+// for an incremental (warm-start) run: BDD handles are only meaningful
+// within the manager that built them, so warm-starting requires the new
+// engine to operate in the prior engine's node universe.
+//
+// Sharing is sound only when the universes agree, so NewWarm returns an
+// error (and callers fall back to a cold New) unless:
+//
+//   - the modes are identical (feature flags change the transfer encodings),
+//   - the external-neighbor lists are identical (advertiser variables are
+//     positional), and
+//   - the community atom universes have equal signatures (atom i must mean
+//     the same community set in both configurations).
+//
+// The returned engine has forked per-engine BDD workers, so it can run
+// concurrently with readers of the prior engine; the shared node manager
+// is concurrent-safe. Transfers for devices in unchanged (callers pass the
+// routers whose configuration sections are byte-identical to prior's; nil
+// means none) are adopted from the prior engine; the rest are recompiled
+// from the new devices. The edge-transfer memo starts empty (policies may
+// have changed, and the memo does not key on policy content). Like
+// NewContext, compilation checks ctx per device and aborts on cancel.
+func NewWarm(ctx context.Context, net *topology.Network, mode Mode, prior *Engine, unchanged map[string]bool) (*Engine, error) {
+	if mode != prior.Mode {
+		return nil, fmt.Errorf("epvp: warm-start mode mismatch (%s vs %s)", mode.Key(), prior.Mode.Key())
+	}
+	if len(net.Externals) != len(prior.Net.Externals) {
+		return nil, fmt.Errorf("epvp: warm-start external count changed (%d vs %d)",
+			len(net.Externals), len(prior.Net.Externals))
+	}
+	for i, name := range net.Externals {
+		if prior.Net.Externals[i] != name {
+			return nil, fmt.Errorf("epvp: warm-start external set changed at %q", name)
+		}
+	}
+	devices := make([]*config.Device, 0, len(net.Internals))
+	for _, name := range net.Internals {
+		devices = append(devices, net.Devices[name])
+	}
+	atoms := community.ComputeAtoms(devices)
+	if atoms.Signature() != prior.Comm.Atoms.Signature() {
+		return nil, fmt.Errorf("epvp: warm-start community atom universe changed")
+	}
+	e := &Engine{
+		Net:       net,
+		Space:     prior.Space.Fork(),
+		Comm:      prior.Comm.Fork(),
+		Mode:      mode,
+		transfers: map[transferKey]*symbolic.Transfer{},
+		edgeMemo:  newEdgeMemo(),
+	}
+	if err := e.compilePoliciesReusing(ctx, prior, unchanged); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // Ctx exposes the compile context (spaces and feature flags).
@@ -412,8 +518,66 @@ func (e *Engine) Run() *Result {
 // RIBs are ordered by symbolic.SortCanonical (structural fingerprints, not
 // handles), which makes the Result identical for every worker count.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	return e.run(ctx, nil, nil)
+}
+
+// RunWarmContext executes EPVP to its fixed point starting from a prior
+// converged result instead of the cold initial state: every router present
+// in prior.Best is seeded with its converged RIB, and only the routers in
+// dirty — plus their neighbors, whose recomputation consumes the dirty
+// routers' exports — are recomputed in the first round. Change tracking
+// then propagates exactly as in a cold run, so routers beyond the dirty
+// closure recompute only if the delta's effects actually reach them.
+//
+// dirty must contain every router whose own configuration changed AND
+// every router adjacent to a change the new topology cannot see (a removed
+// router, a removed session, or an external neighbor whose AS changed) —
+// callers diffing two configurations compute this from per-router config
+// digests over both the old and new topologies. Routers in the new network
+// that are absent from prior.Best (added routers) are seeded cold; names
+// in prior.Best that left the network are dropped.
+//
+// The engine must have been built by NewWarm against the engine that
+// produced prior (the seeds' BDD handles are only meaningful in a shared
+// node universe). Warm and cold runs converge to the same fixed point on a
+// deterministic decision process; the warm-start determinism tests pin
+// byte-identical reports against a cold run of the same configuration.
+func (e *Engine) RunWarmContext(ctx context.Context, prior *Result, dirty []string) (*Result, error) {
+	return e.run(ctx, prior, dirty)
+}
+
+// run is the shared fixed-point driver: seed == nil is a cold start over
+// every router; a non-nil seed warm-starts from its RIBs with round 0
+// restricted to the dirty closure.
+func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result, error) {
 	best := map[string][]*symbolic.Route{}
+	var initialWork map[string]bool
+	if seed != nil {
+		initialWork = map[string]bool{}
+		for _, d := range dirty {
+			if e.Net.IsInternal(d) {
+				initialWork[d] = true
+			}
+			for _, v := range e.Net.Neighbors(d) {
+				if e.Net.IsInternal(v) {
+					initialWork[v] = true
+				}
+			}
+		}
+	}
 	for _, name := range e.Net.Internals {
+		if seed != nil {
+			if rs, ok := seed.Best[name]; ok {
+				// Copy the list header: the final SortCanonical pass must
+				// not reorder the prior result's slices in place.
+				best[name] = append([]*symbolic.Route(nil), rs...)
+				continue
+			}
+			// A router with no prior RIB is new; its cold init changes its
+			// RIB, so it must be part of round 0 regardless of the dirty
+			// set the caller computed.
+			initialWork[name] = true
+		}
 		var init []*symbolic.Route
 		if r := e.originated(e.Net.Devices[name]); r != nil {
 			init = append(init, r)
@@ -458,8 +622,8 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		// Work list: the routers whose inputs changed last round.
 		var work []string
 		for _, v := range e.Net.Internals {
-			needs := iter == 0
-			if !needs {
+			needs := iter == 0 && (initialWork == nil || initialWork[v])
+			if !needs && iter > 0 {
 				for _, u := range e.Net.Neighbors(v) {
 					if changedLast[u] {
 						needs = true

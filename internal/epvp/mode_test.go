@@ -44,6 +44,38 @@ func TestModeIsZero(t *testing.T) {
 	}
 }
 
+// TestModeKeyCoversAllFields pins the cache-key contract: Key renders each
+// field explicitly, so flipping any single field must change the key, and
+// adding a field without extending Key must fail this reflection sweep.
+func TestModeKeyCoversAllFields(t *testing.T) {
+	base := (Mode{}).Key()
+	typ := reflect.TypeOf(Mode{})
+	for i := 0; i < typ.NumField(); i++ {
+		v := reflect.New(typ).Elem()
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(1)
+		case reflect.String:
+			f.SetString("x")
+		default:
+			t.Fatalf("Mode field %s has kind %s: extend Key and this test", typ.Field(i).Name, f.Kind())
+		}
+		if v.Interface().(Mode).Key() == base {
+			t.Errorf("Mode.Key ignores field %s: cache keys would collide across that feature", typ.Field(i).Name)
+		}
+	}
+	// The rendering is part of the persisted cache-key format; changing it
+	// invalidates every key, so pin it.
+	if got, want := FullMode().Key(), "t:true,c:true,a:true"; got != want {
+		t.Errorf("FullMode().Key() = %q, want %q", got, want)
+	}
+}
+
 // TestRunContextCancelled checks the engine aborts with ctx.Err.
 func TestRunContextCancelled(t *testing.T) {
 	eng := New(mustNet(t, testnet.Figure4), FullMode())

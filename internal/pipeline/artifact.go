@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/expresso-verify/expresso/internal/config"
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/properties"
+	"github.com/expresso-verify/expresso/internal/spf"
+	"github.com/expresso-verify/expresso/internal/topology"
+)
+
+// LoadArtifact is the Load stage's output: the built network plus the
+// content addresses the downstream stage keys chain on. Digest == ""
+// marks a network built outside the text pipeline (expresso.Load /
+// LoadDir callers hand the Runner a pre-built topology); such artifacts
+// are never cached or warm-started against, since there is no text to
+// diff.
+type LoadArtifact struct {
+	Net *topology.Network
+	// Digest is the SHA-256 of the canonical configuration text.
+	Digest string
+	// DeviceDigests maps each router name to the digest of its canonical
+	// config section ("" keys any preamble). Warm-starts diff two of
+	// these maps to find the routers a delta touched.
+	DeviceDigests map[string]string
+	// Elapsed is the parse+build wall clock.
+	Elapsed time.Duration
+}
+
+// Load runs the Load stage on configuration text.
+func Load(text string) (*LoadArtifact, error) {
+	start := time.Now()
+	devices, err := config.ParseConfigs(text)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := topology.Build(devices)
+	if err != nil {
+		return nil, err
+	}
+	canonical := CanonicalConfig(text)
+	return &LoadArtifact{
+		Net:           topo,
+		Digest:        hashHex(canonical),
+		DeviceDigests: DeviceDigests(canonical),
+		Elapsed:       time.Since(start),
+	}, nil
+}
+
+// FromNetwork wraps a pre-built topology as an uncacheable Load artifact.
+func FromNetwork(net *topology.Network) *LoadArtifact {
+	return &LoadArtifact{Net: net}
+}
+
+// SRCArtifact is the SRC stage's output: a converged EPVP fixed point
+// together with the engine that owns its BDD handles. The engine is part
+// of the artifact because symbolic routes are only meaningful inside the
+// manager that built them — every downstream stage (analysis, SPF) and
+// every warm-start chained off this artifact must run in Eng's node
+// universe.
+type SRCArtifact struct {
+	// Key is the cache key the artifact was stored under; Digest is its
+	// content address (the hash of Key), which downstream stage keys
+	// chain on.
+	Key    string
+	Digest string
+	Eng    *epvp.Engine
+	Res    *epvp.Result
+	// Load is the artifact the fixed point was computed from; warm-starts
+	// diff its DeviceDigests against the new load's.
+	Load *LoadArtifact
+	// Workers is the resolved engine worker count that computed the fixed
+	// point (reports surface it; results are identical for every value).
+	Workers int
+
+	// runLock serializes all symbolic computation touching Eng's BDD
+	// manager: the manager's default worker is not safe for concurrent
+	// use, and a cached artifact can be picked up by several requests at
+	// once. Artifacts produced by warm-starting share the prior
+	// artifact's manager, so they share its lock too.
+	runLock *sync.Mutex
+}
+
+// lock serializes engine-touching computation on the artifact's manager.
+func (a *SRCArtifact) lock()   { a.runLock.Lock() }
+func (a *SRCArtifact) unlock() { a.runLock.Unlock() }
+
+// AnalysisArtifact is the output of the RoutingAnalysis and
+// ForwardingAnalysis stages: the violations of the stage's property
+// subset, in canonical in-stage order. Callers must not mutate the slice
+// (report assembly copies).
+type AnalysisArtifact struct {
+	Key        string
+	Violations []properties.Violation
+}
+
+// SPFArtifact is the SPF stage's output: symbolic FIBs and PECs, valid in
+// the upstream SRC artifact's manager.
+type SPFArtifact struct {
+	Key    string
+	Digest string
+	Res    *spf.Result
+}
+
+// DirtyRouters computes the warm-start dirty set between two loads of the
+// same external universe: every router whose canonical config section
+// changed (or appeared, or disappeared), every neighbor — in the old AND
+// new topologies — of such a router, and every neighbor of an external
+// whose AS changed. The old-topology neighbors matter because change
+// propagation in the new engine cannot see deltas the new topology no
+// longer contains (a removed session or router): the routers that used to
+// consume the removed state must be recomputed explicitly. A preamble
+// change ("" section) dirties every router.
+func DirtyRouters(old, new *LoadArtifact) []string {
+	changed := map[string]bool{}
+	for name, d := range new.DeviceDigests {
+		if od, ok := old.DeviceDigests[name]; !ok || od != d {
+			changed[name] = true
+		}
+	}
+	for name := range old.DeviceDigests {
+		if _, ok := new.DeviceDigests[name]; !ok {
+			changed[name] = true
+		}
+	}
+	if changed[""] {
+		// Preamble text changed: no per-router attribution, dirty them all.
+		out := append([]string(nil), new.Net.Internals...)
+		return out
+	}
+	dirty := map[string]bool{}
+	addWithNeighbors := func(name string) {
+		dirty[name] = true
+		for _, v := range old.Net.Neighbors(name) {
+			dirty[v] = true
+		}
+		for _, v := range new.Net.Neighbors(name) {
+			dirty[v] = true
+		}
+	}
+	for name := range changed {
+		addWithNeighbors(name)
+	}
+	// An external's AS participates in every route it originates; if it
+	// changed without its neighbor routers' sections changing, those
+	// routers must still recompute.
+	for _, ext := range new.Net.Externals {
+		if oldAS, ok := old.Net.ExternalAS[ext]; ok && oldAS != new.Net.ExternalAS[ext] {
+			addWithNeighbors(ext)
+		}
+	}
+	out := make([]string, 0, len(dirty))
+	for name := range dirty {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnchangedRouters returns the routers whose canonical config sections are
+// byte-identical between two loads — the set whose compiled policy
+// transfers a warm engine may adopt from the prior engine instead of
+// recompiling (epvp.NewWarm). A preamble change disqualifies everything:
+// preamble text has no per-router attribution, so no section can be
+// trusted to mean the same thing.
+func UnchangedRouters(old, new *LoadArtifact) map[string]bool {
+	if old.DeviceDigests[""] != new.DeviceDigests[""] {
+		return nil
+	}
+	unchanged := map[string]bool{}
+	for name, d := range new.DeviceDigests {
+		if name == "" {
+			continue
+		}
+		if od, ok := old.DeviceDigests[name]; ok && od == d {
+			unchanged[name] = true
+		}
+	}
+	return unchanged
+}

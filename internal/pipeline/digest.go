@@ -1,0 +1,190 @@
+// Package pipeline models a verification run as five first-class stages —
+// Load → SRC (the EPVP fixed point) → RoutingAnalysis → SPF →
+// ForwardingAnalysis — each producing a typed artifact with its own
+// timing, cancellation check, and content-addressed cache key. The stage
+// keys chain: a stage's key is derived from its inputs plus the digest of
+// the upstream artifact, so any two requests that agree on a prefix of the
+// pipeline share that prefix's artifacts through the StageCache, and a
+// request whose configuration differs from a cached one by a few routers
+// can warm-start the EPVP fixed point from the cached converged RIBs.
+//
+// The package is deliberately below the public API: expresso.Verifier and
+// expresso.Network.VerifyContext both drive a Runner, the former with a
+// StageCache, the latter cold (caching and warm-starts never change what a
+// report says, only how much of it is recomputed — the warm-start
+// determinism tests pin byte-identical reports against cold runs).
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/properties"
+	"github.com/expresso-verify/expresso/internal/route"
+)
+
+// Stage names, in pipeline order. They key the StageCache sections and
+// label StageInfo provenance entries and per-stage metrics.
+const (
+	StageLoad       = "load"
+	StageSRC        = "src"
+	StageRouting    = "routing_analysis"
+	StageSPF        = "spf"
+	StageForwarding = "forwarding_analysis"
+	StageReport     = "report"
+)
+
+// stageOrder is the canonical listing order for stats and metrics.
+var stageOrder = []string{StageLoad, StageSRC, StageRouting, StageSPF, StageForwarding, StageReport}
+
+// CanonicalConfig normalizes configuration text for digesting so that
+// inputs differing only in comments, blank lines, or whitespace map to the
+// same key. It mirrors the parser's tokenizer: comments ("//" and "#") are
+// stripped, each line is reduced to its space-joined tokens, and empty
+// lines are dropped.
+func CanonicalConfig(text string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		b.WriteString(strings.Join(fields, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// hashHex is the content-address function: SHA-256, hex-encoded.
+func hashHex(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// ConfigDigest content-addresses a configuration text (canonicalized).
+func ConfigDigest(text string) string {
+	return hashHex(CanonicalConfig(text))
+}
+
+// DeviceDigests splits a canonical configuration into per-router sections
+// (a section starts at a line whose first token is "router") and digests
+// each. Lines before the first router section are keyed under "" — a
+// change there dirties every router, since attribution is unknown. The
+// warm-start path diffs these maps to find the routers a delta touched.
+func DeviceDigests(canonical string) map[string]string {
+	sections := map[string]*strings.Builder{}
+	name := ""
+	for _, line := range strings.Split(canonical, "\n") {
+		if line == "" {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) >= 2 && fields[0] == "router" {
+			name = fields[1]
+		}
+		sb, ok := sections[name]
+		if !ok {
+			sb = &strings.Builder{}
+			sections[name] = sb
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	out := make(map[string]string, len(sections))
+	for n, sb := range sections {
+		out[n] = hashHex(sb.String())
+	}
+	return out
+}
+
+// ReportKey is the digest identifying a whole verification request: the
+// canonicalized configuration plus the caller's rendered options key.
+// expresso.ReportDigest and the service's result cache key on it.
+func ReportKey(configText, optsKey string) string {
+	h := sha256.New()
+	h.Write([]byte(CanonicalConfig(configText)))
+	h.Write([]byte{0})
+	h.Write([]byte(optsKey))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SRCKey is the cache key of the EPVP fixed point: the configuration
+// digest plus the explicit per-field mode rendering. Workers are absent —
+// the result is identical for every worker count.
+func SRCKey(configDigest string, mode epvp.Mode) string {
+	return StageSRC + "|" + configDigest + "|" + mode.Key()
+}
+
+// RoutingKey chains the routing-analysis key on the SRC artifact's digest
+// and the canonical routing property selection; the BTE community
+// participates only when BlockToExternal is selected (its value is
+// irrelevant otherwise).
+func RoutingKey(srcDigest string, props []properties.Kind, bte route.Community) string {
+	key := StageRouting + "|" + srcDigest + "|props=" + joinKinds(props)
+	for _, p := range props {
+		if p == properties.BlockToExternal {
+			key += "|bte=" + strconv.FormatUint(uint64(bte), 10)
+			break
+		}
+	}
+	return key
+}
+
+// SPFKey chains the symbolic-packet-forwarding key on the SRC digest
+// alone: SPF consumes only the converged RIBs.
+func SPFKey(srcDigest string) string {
+	return StageSPF + "|" + srcDigest
+}
+
+// ForwardingKey chains the forwarding-analysis key on the SPF artifact's
+// digest and the canonical forwarding property selection.
+func ForwardingKey(spfDigest string, props []properties.Kind) string {
+	return StageForwarding + "|" + spfDigest + "|props=" + joinKinds(props)
+}
+
+func joinKinds(props []properties.Kind) string {
+	names := make([]string, len(props))
+	for i, p := range props {
+		names[i] = string(p)
+	}
+	return strings.Join(names, ",")
+}
+
+// routingKinds and forwardingKinds define the canonical in-stage order;
+// violations are appended in this order, matching the pre-refactor
+// monolithic VerifyContext.
+var (
+	routingKinds    = []properties.Kind{properties.RouteLeakFree, properties.RouteHijackFree, properties.BlockToExternal}
+	forwardingKinds = []properties.Kind{properties.TrafficHijackFree, properties.BlackHoleFree, properties.LoopFree}
+)
+
+// SplitProperties partitions a property selection into the routing-stage
+// and forwarding-stage subsets, each deduplicated and in canonical order
+// (so equivalent selections produce equal stage keys). Kinds that belong
+// to neither stage (EgressPreference needs per-query parameters and is
+// not driven by the pipeline) are dropped, as in the monolithic path.
+func SplitProperties(props []properties.Kind) (routing, forwarding []properties.Kind) {
+	selected := map[properties.Kind]bool{}
+	for _, p := range props {
+		selected[p] = true
+	}
+	for _, k := range routingKinds {
+		if selected[k] {
+			routing = append(routing, k)
+		}
+	}
+	for _, k := range forwardingKinds {
+		if selected[k] {
+			forwarding = append(forwarding, k)
+		}
+	}
+	return routing, forwarding
+}

@@ -1,0 +1,363 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/properties"
+	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/spf"
+)
+
+// GCMode controls the memory reclamation between the SRC fixed point and
+// the analysis stages. The pre-pipeline monolith unconditionally dropped
+// the engine's ITE memos and forced a garbage collection there — right
+// for one-shot verification of the paper's large snapshots (the memo is
+// often gigabytes), wrong as an always-on cost for a service verifying
+// small snapshots at high rate.
+type GCMode int
+
+const (
+	// GCAuto (the default) reclaims only under heap pressure: when the
+	// post-SRC live heap exceeds gcHeapThreshold.
+	GCAuto GCMode = iota
+	// GCAlways reclaims after every SRC computation (the old behavior).
+	GCAlways
+	// GCNever skips reclamation entirely.
+	GCNever
+)
+
+// gcHeapThreshold is the GCAuto heap-pressure cutoff. Small enough that
+// the paper-scale snapshots (multi-GB memos) always reclaim, large enough
+// that testnet-sized service traffic never pays a forced GC per request.
+const gcHeapThreshold = 256 << 20
+
+// String renders the mode for logs and provenance notes.
+func (g GCMode) String() string {
+	switch g {
+	case GCAlways:
+		return "always"
+	case GCNever:
+		return "never"
+	default:
+		return "auto"
+	}
+}
+
+// reclaim applies the GC policy after a freshly computed SRC fixed point,
+// reporting whether it forced a collection.
+func reclaim(mode GCMode, eng *epvp.Engine) bool {
+	switch mode {
+	case GCNever:
+		return false
+	case GCAlways:
+	default: // GCAuto: only under heap pressure
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc < gcHeapThreshold {
+			return false
+		}
+	}
+	// The fixed point is done: the ITE memo is pure acceleration state and
+	// the analysis stages rebuild what they need.
+	eng.Space.M.ClearCaches()
+	runtime.GC()
+	return true
+}
+
+// Stage statuses recorded in StageInfo provenance entries.
+const (
+	StatusHit  = "hit"  // artifact served from the stage cache
+	StatusMiss = "miss" // artifact computed cold
+	StatusWarm = "warm" // SRC only: computed, but seeded from a cached prior
+)
+
+// StageInfo is one stage's provenance: what ran, from where, how long.
+// The CLI's -explain-cache renders these, and expresso.RunInfo carries
+// them back to API callers.
+type StageInfo struct {
+	Stage    string        `json:"stage"`
+	Status   string        `json:"status"`
+	Key      string        `json:"key"`
+	Duration time.Duration `json:"duration_ns"`
+	// Note carries stage-specific detail: the warm-start seed and dirty
+	// count, and whether the post-SRC reclamation fired.
+	Note string `json:"note,omitempty"`
+}
+
+// Request describes one verification to a Runner. Mode must be resolved
+// (the zero-Mode-means-FullMode default is the public API's business);
+// Properties may be in any order and are split into the canonical
+// per-stage subsets.
+type Request struct {
+	Load       *LoadArtifact
+	Mode       epvp.Mode
+	Properties []properties.Kind
+	BTE        route.Community
+	Workers    int
+	GC         GCMode
+}
+
+// Outcome is a completed run: the artifacts of every stage that executed
+// (Routing is always present; SPF and Forwarding only when a forwarding
+// property was requested) plus per-stage provenance in pipeline order.
+type Outcome struct {
+	SRC        *SRCArtifact
+	Routing    *AnalysisArtifact
+	SPF        *SPFArtifact
+	Forwarding *AnalysisArtifact
+	Stages     []StageInfo
+}
+
+// warmNodeBudget bounds the BDD node count of a manager the Runner is
+// willing to warm-start into. Warm chains share one manager, and every
+// run grows its node table (nodes are never freed); past the budget a
+// cold start with a fresh manager is cheaper than dragging the old
+// universe along.
+const warmNodeBudget = 4 << 20
+
+// Runner executes the staged pipeline. A nil Cache runs every stage cold
+// — byte-identical results, no reuse — which is exactly what the plain
+// expresso.Verify path wants (its determinism tests compare repeated
+// runs, including iteration counts).
+type Runner struct {
+	Cache *StageCache
+}
+
+// Run drives Load's downstream stages to an Outcome. req.Load must be
+// set; stages are cached and warm-started only when the load carries a
+// digest (text-born) and the Runner has a cache.
+func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
+	if req.Load == nil || req.Load.Net == nil {
+		return nil, errors.New("pipeline: request carries no loaded network")
+	}
+	if req.Mode.IsZero() {
+		return nil, errors.New("pipeline: request Mode must be resolved by the caller")
+	}
+	routingProps, forwardingProps := SplitProperties(req.Properties)
+	for _, p := range routingProps {
+		if p == properties.BlockToExternal && req.BTE == 0 {
+			return nil, fmt.Errorf("expresso: BlockToExternal requires Options.BTE")
+		}
+	}
+	cacheable := r.Cache != nil && req.Load.Digest != ""
+	out := &Outcome{}
+
+	// --- SRC: the EPVP fixed point -------------------------------------
+	srcKey := SRCKey(req.Load.Digest, req.Mode)
+	start := time.Now()
+	src, info, err := r.resolveSRC(ctx, req, srcKey, cacheable)
+	if err != nil {
+		return nil, err
+	}
+	info.Duration = time.Since(start)
+	out.SRC = src
+	out.Stages = append(out.Stages, info)
+
+	// --- RoutingAnalysis -----------------------------------------------
+	routingKey := RoutingKey(src.Digest, routingProps, req.BTE)
+	start = time.Now()
+	routing, status, err := r.resolveAnalysis(ctx, StageRouting, routingKey, cacheable, func() ([]properties.Violation, error) {
+		var vs []properties.Violation
+		src.lock()
+		defer src.unlock()
+		for _, k := range routingProps {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			switch k {
+			case properties.RouteLeakFree:
+				vs = append(vs, properties.CheckRouteLeak(src.Eng, src.Res)...)
+			case properties.RouteHijackFree:
+				vs = append(vs, properties.CheckRouteHijack(src.Eng, src.Res)...)
+			case properties.BlockToExternal:
+				vs = append(vs, properties.CheckBlockToExternal(src.Eng, src.Res, req.BTE)...)
+			}
+		}
+		return vs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Routing = routing
+	out.Stages = append(out.Stages, StageInfo{Stage: StageRouting, Status: status, Key: routingKey, Duration: time.Since(start)})
+
+	if len(forwardingProps) == 0 {
+		return out, nil
+	}
+
+	// --- SPF: symbolic packet forwarding -------------------------------
+	spfKey := SPFKey(src.Digest)
+	start = time.Now()
+	var spfArt *SPFArtifact
+	status = StatusMiss
+	if cacheable {
+		if v, ok := r.Cache.Get(StageSPF, spfKey); ok {
+			spfArt = v.(*SPFArtifact)
+			status = StatusHit
+		}
+	}
+	if spfArt == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		src.lock()
+		dp, err := spf.RunContext(ctx, src.Eng, src.Res)
+		src.unlock()
+		if err != nil {
+			return nil, err
+		}
+		spfArt = &SPFArtifact{Key: spfKey, Digest: hashHex(spfKey), Res: dp}
+		if cacheable {
+			r.Cache.Add(StageSPF, spfKey, spfArt)
+		}
+	}
+	out.SPF = spfArt
+	out.Stages = append(out.Stages, StageInfo{Stage: StageSPF, Status: status, Key: spfKey, Duration: time.Since(start)})
+
+	// --- ForwardingAnalysis --------------------------------------------
+	forwardingKey := ForwardingKey(spfArt.Digest, forwardingProps)
+	start = time.Now()
+	forwarding, status, err := r.resolveAnalysis(ctx, StageForwarding, forwardingKey, cacheable, func() ([]properties.Violation, error) {
+		var vs []properties.Violation
+		src.lock()
+		defer src.unlock()
+		for _, k := range forwardingProps {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			switch k {
+			case properties.TrafficHijackFree:
+				vs = append(vs, properties.CheckTrafficHijack(src.Eng, spfArt.Res)...)
+			case properties.BlackHoleFree:
+				vs = append(vs, properties.CheckBlackHole(src.Eng, spfArt.Res,
+					properties.InternalDestPredicate(src.Eng, spfArt.Res))...)
+			case properties.LoopFree:
+				vs = append(vs, properties.CheckLoop(src.Eng, spfArt.Res)...)
+			}
+		}
+		return vs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Forwarding = forwarding
+	out.Stages = append(out.Stages, StageInfo{Stage: StageForwarding, Status: status, Key: forwardingKey, Duration: time.Since(start)})
+	return out, nil
+}
+
+// resolveSRC returns the SRC artifact for the request: cached when the
+// exact key is present, warm-started from a compatible cached prior when
+// one exists, cold otherwise.
+func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, cacheable bool) (*SRCArtifact, StageInfo, error) {
+	info := StageInfo{Stage: StageSRC, Status: StatusMiss, Key: srcKey}
+	if cacheable {
+		if v, ok := r.Cache.Get(StageSRC, srcKey); ok {
+			info.Status = StatusHit
+			return v.(*SRCArtifact), info, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, info, err
+	}
+
+	var src *SRCArtifact
+	if cacheable {
+		if prior := r.warmCandidate(req.Mode); prior != nil {
+			if eng, err := epvp.NewWarm(ctx, req.Load.Net, req.Mode, prior.Eng, UnchangedRouters(prior.Load, req.Load)); err == nil {
+				dirty := DirtyRouters(prior.Load, req.Load)
+				eng.Workers = req.Workers
+				// The warm run computes in the prior artifact's manager:
+				// serialize against its other users for the duration.
+				prior.lock()
+				res, err := eng.RunWarmContext(ctx, prior.Res, dirty)
+				prior.unlock()
+				if err != nil {
+					return nil, info, err
+				}
+				src = &SRCArtifact{
+					Key: srcKey, Digest: hashHex(srcKey),
+					Eng: eng, Res: res, Load: req.Load,
+					Workers: eng.WorkerCount(),
+					runLock: prior.runLock, // shared manager, shared lock
+				}
+				info.Status = StatusWarm
+				info.Note = fmt.Sprintf("seed=%.12s dirty=%d", prior.Digest, len(dirty))
+				r.Cache.NoteWarm()
+			}
+		}
+	}
+	if src == nil {
+		eng, err := epvp.NewContext(ctx, req.Load.Net, req.Mode)
+		if err != nil {
+			return nil, info, err
+		}
+		eng.Workers = req.Workers
+		res, err := eng.RunContext(ctx)
+		if err != nil {
+			return nil, info, err
+		}
+		src = &SRCArtifact{
+			Key: srcKey, Digest: hashHex(srcKey),
+			Eng: eng, Res: res, Load: req.Load,
+			Workers: eng.WorkerCount(),
+			runLock: &sync.Mutex{},
+		}
+	}
+	if cacheable {
+		r.Cache.Add(StageSRC, srcKey, src)
+	}
+	gcNote := "gc=skipped"
+	if reclaim(req.GC, src.Eng) {
+		gcNote = "gc=forced"
+	}
+	if info.Note != "" {
+		info.Note += " "
+	}
+	info.Note += gcNote
+	return src, info, nil
+}
+
+// warmCandidate scans the SRC stage for the most recently used artifact a
+// warm start may chain on: same mode, text-born (diffable), and a node
+// table still under budget. The compatibility of the symbolic universes
+// (externals, community atoms) is re-checked by epvp.NewWarm.
+func (r *Runner) warmCandidate(mode epvp.Mode) *SRCArtifact {
+	var found *SRCArtifact
+	r.Cache.Scan(StageSRC, func(v any) bool {
+		a := v.(*SRCArtifact)
+		if a.Eng.Mode == mode && a.Load.Digest != "" && a.Eng.Space.M.NumNodes() < warmNodeBudget {
+			found = a
+			return true
+		}
+		return false
+	})
+	return found
+}
+
+// resolveAnalysis is the shared cache-or-compute driver of the two
+// analysis stages.
+func (r *Runner) resolveAnalysis(ctx context.Context, stage, key string, cacheable bool, compute func() ([]properties.Violation, error)) (*AnalysisArtifact, string, error) {
+	if cacheable {
+		if v, ok := r.Cache.Get(stage, key); ok {
+			return v.(*AnalysisArtifact), StatusHit, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, StatusMiss, err
+	}
+	vs, err := compute()
+	if err != nil {
+		return nil, StatusMiss, err
+	}
+	art := &AnalysisArtifact{Key: key, Violations: vs}
+	if cacheable {
+		r.Cache.Add(stage, key, art)
+	}
+	return art, StatusMiss, nil
+}

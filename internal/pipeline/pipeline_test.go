@@ -1,0 +1,355 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/epvp"
+	"github.com/expresso-verify/expresso/internal/properties"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+// --- StageCache (ported from the service's whole-report cache tests) ----
+
+func TestStageCacheLRUEviction(t *testing.T) {
+	c := NewStageCache(Capacities{Report: 2})
+	a, b, d := &struct{ n int }{1}, &struct{ n int }{2}, &struct{ n int }{3}
+	c.Add(StageReport, "a", a)
+	c.Add(StageReport, "b", b)
+	if _, ok := c.Get(StageReport, "a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add(StageReport, "d", d) // evicts b
+	if _, ok := c.Get(StageReport, "b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if got, ok := c.Get(StageReport, "a"); !ok || got != a {
+		t.Error("a should have survived eviction")
+	}
+	if got, ok := c.Get(StageReport, "d"); !ok || got != d {
+		t.Error("d should be cached")
+	}
+	if c.Len(StageReport) != 2 {
+		t.Errorf("Len = %d, want 2", c.Len(StageReport))
+	}
+}
+
+func TestStageCacheRefreshExisting(t *testing.T) {
+	c := NewStageCache(Capacities{})
+	r1, r2 := &struct{ n int }{1}, &struct{ n int }{2}
+	c.Add(StageSRC, "k", r1)
+	c.Add(StageSRC, "k", r2)
+	if got, _ := c.Get(StageSRC, "k"); got != r2 {
+		t.Error("Add should refresh the stored artifact")
+	}
+	if c.Len(StageSRC) != 1 {
+		t.Errorf("Len = %d, want 1", c.Len(StageSRC))
+	}
+}
+
+func TestStageCacheDisabled(t *testing.T) {
+	c := NewStageCache(Capacities{Report: -1})
+	c.Add(StageReport, "k", &struct{}{})
+	if _, ok := c.Get(StageReport, "k"); ok {
+		t.Error("disabled stage must not store")
+	}
+	// Other stages stay enabled.
+	c.Add(StageSRC, "k", &struct{}{})
+	if _, ok := c.Get(StageSRC, "k"); !ok {
+		t.Error("sibling stage wrongly disabled")
+	}
+}
+
+func TestStageCacheStatsCount(t *testing.T) {
+	c := NewStageCache(Capacities{})
+	c.Get(StageSRC, "missing")
+	c.Add(StageSRC, "k", &struct{}{})
+	c.Get(StageSRC, "k")
+	c.NoteWarm()
+	for _, st := range c.Stats() {
+		if st.Stage != StageSRC {
+			continue
+		}
+		if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.WarmStarts != 1 {
+			t.Errorf("src stats = %+v, want hits=1 misses=1 entries=1 warm=1", st)
+		}
+		return
+	}
+	t.Fatal("Stats is missing the src stage")
+}
+
+// --- digests -----------------------------------------------------------
+
+func TestDeviceDigests(t *testing.T) {
+	canon := CanonicalConfig("// preamble-free\nrouter A\nbgp as 1\nrouter B\nbgp as 2\n")
+	d := DeviceDigests(canon)
+	if len(d) != 2 || d["A"] == "" || d["B"] == "" {
+		t.Fatalf("DeviceDigests = %v, want sections A and B", d)
+	}
+	// Changing one router's section changes only that router's digest.
+	canon2 := CanonicalConfig("router A\nbgp as 1\nrouter B\nbgp as 99\n")
+	d2 := DeviceDigests(canon2)
+	if d2["A"] != d["A"] {
+		t.Error("unchanged router A's digest moved")
+	}
+	if d2["B"] == d["B"] {
+		t.Error("changed router B's digest did not move")
+	}
+	// Comments and whitespace are canonicalized away before sectioning.
+	d3 := DeviceDigests(CanonicalConfig("router   A   // x\nbgp  as  1\nrouter B\nbgp as 2\n"))
+	if d3["A"] != d["A"] || d3["B"] != d["B"] {
+		t.Error("formatting noise changed a section digest")
+	}
+}
+
+func TestStageKeysChain(t *testing.T) {
+	full := epvp.FullMode()
+	k1 := SRCKey("cfg1", full)
+	if k1 == SRCKey("cfg2", full) {
+		t.Error("SRC key ignores the config digest")
+	}
+	minus := full
+	minus.SymbolicASPaths = false
+	if k1 == SRCKey("cfg1", minus) {
+		t.Error("SRC key ignores the mode")
+	}
+	leak := []properties.Kind{properties.RouteLeakFree}
+	if RoutingKey("s1", leak, 0) == RoutingKey("s2", leak, 0) {
+		t.Error("routing key ignores the SRC digest")
+	}
+	both := []properties.Kind{properties.RouteLeakFree, properties.RouteHijackFree}
+	if RoutingKey("s1", leak, 0) == RoutingKey("s1", both, 0) {
+		t.Error("routing key ignores the property set")
+	}
+	// BTE participates only when BlockToExternal is selected.
+	if RoutingKey("s1", leak, 7) != RoutingKey("s1", leak, 8) {
+		t.Error("BTE leaked into a key without BlockToExternal")
+	}
+	bte := []properties.Kind{properties.BlockToExternal}
+	if RoutingKey("s1", bte, 7) == RoutingKey("s1", bte, 8) {
+		t.Error("BTE value missing from a BlockToExternal key")
+	}
+	if ForwardingKey("p1", leak) == ForwardingKey("p2", leak) {
+		t.Error("forwarding key ignores the SPF digest")
+	}
+}
+
+func TestSplitPropertiesCanonicalizes(t *testing.T) {
+	r, f := SplitProperties([]properties.Kind{
+		properties.LoopFree, properties.RouteHijackFree, properties.TrafficHijackFree,
+		properties.RouteLeakFree, properties.RouteLeakFree, // dup
+	})
+	wantR := []properties.Kind{properties.RouteLeakFree, properties.RouteHijackFree}
+	wantF := []properties.Kind{properties.TrafficHijackFree, properties.LoopFree}
+	if len(r) != len(wantR) || r[0] != wantR[0] || r[1] != wantR[1] {
+		t.Errorf("routing split = %v, want %v", r, wantR)
+	}
+	if len(f) != len(wantF) || f[0] != wantF[0] || f[1] != wantF[1] {
+		t.Errorf("forwarding split = %v, want %v", f, wantF)
+	}
+}
+
+// --- DirtyRouters ------------------------------------------------------
+
+func TestDirtyRouters(t *testing.T) {
+	old, err := Load(testnet.Figure4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Load(testnet.Figure4 + "\n// a comment changes nothing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DirtyRouters(old, same); len(d) != 0 {
+		t.Errorf("comment-only delta dirtied %v", d)
+	}
+	// Figure4Fixed changes PR1's section (advertise-community on the PR2
+	// peering); the dirty closure is PR1 plus its neighbors.
+	fixed, err := Load(testnet.Figure4Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DirtyRouters(old, fixed)
+	found := map[string]bool{}
+	for _, name := range d {
+		found[name] = true
+	}
+	if !found["PR1"] || !found["PR2"] {
+		t.Errorf("dirty closure %v must contain PR1 (changed) and PR2 (its neighbor)", d)
+	}
+}
+
+// --- Runner ------------------------------------------------------------
+
+func loadT(t *testing.T, text string) *LoadArtifact {
+	t.Helper()
+	a, err := Load(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func stageStatus(out *Outcome, stage string) string {
+	for _, st := range out.Stages {
+		if st.Stage == stage {
+			return st.Status
+		}
+	}
+	return ""
+}
+
+// TestRunnerStageReuse drives the reuse matrix the refactor exists for:
+// same config with a grown property set hits the SRC cache; adding a
+// forwarding property on top reuses SRC and routing analysis and runs
+// only SPF onward.
+func TestRunnerStageReuse(t *testing.T) {
+	r := &Runner{Cache: NewStageCache(Capacities{})}
+	load := loadT(t, testnet.Figure4)
+	ctx := context.Background()
+
+	out1, err := r.Run(ctx, &Request{Load: load, Mode: epvp.FullMode(), Workers: 1,
+		Properties: []properties.Kind{properties.RouteLeakFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stageStatus(out1, StageSRC); s != StatusMiss {
+		t.Errorf("first run SRC status = %q, want miss", s)
+	}
+	if len(out1.Routing.Violations) != 1 {
+		t.Fatalf("Figure4 leak violations = %d, want 1", len(out1.Routing.Violations))
+	}
+
+	// Property-set change: SRC hit, routing recomputed.
+	out2, err := r.Run(ctx, &Request{Load: load, Mode: epvp.FullMode(), Workers: 1,
+		Properties: []properties.Kind{properties.RouteLeakFree, properties.RouteHijackFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stageStatus(out2, StageSRC); s != StatusHit {
+		t.Errorf("property-set change SRC status = %q, want hit", s)
+	}
+	if s := stageStatus(out2, StageRouting); s != StatusMiss {
+		t.Errorf("grown routing property set status = %q, want miss", s)
+	}
+	if out2.SRC != out1.SRC {
+		t.Error("SRC artifact was not shared between runs")
+	}
+
+	// Adding a forwarding property: SRC hit, SPF runs once...
+	out3, err := r.Run(ctx, &Request{Load: load, Mode: epvp.FullMode(), Workers: 1,
+		Properties: []properties.Kind{properties.RouteLeakFree, properties.BlackHoleFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stageStatus(out3, StageSPF); s != StatusMiss {
+		t.Errorf("first forwarding run SPF status = %q, want miss", s)
+	}
+	// ...and is reused by the next forwarding request.
+	out4, err := r.Run(ctx, &Request{Load: load, Mode: epvp.FullMode(), Workers: 1,
+		Properties: []properties.Kind{properties.RouteLeakFree, properties.LoopFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stageStatus(out4, StageSPF); s != StatusHit {
+		t.Errorf("second forwarding run SPF status = %q, want hit", s)
+	}
+	if s := stageStatus(out4, StageRouting); s != StatusHit {
+		t.Errorf("repeated routing selection status = %q, want hit", s)
+	}
+}
+
+// TestRunnerWarmStart checks the orchestration end of warm-starting: a
+// one-router delta on a cached configuration runs SRC with status "warm"
+// and converges to the same violations as a cold run.
+func TestRunnerWarmStart(t *testing.T) {
+	r := &Runner{Cache: NewStageCache(Capacities{})}
+	ctx := context.Background()
+	props := []properties.Kind{properties.RouteLeakFree, properties.RouteHijackFree}
+
+	if _, err := r.Run(ctx, &Request{Load: loadT(t, testnet.Figure4), Mode: epvp.FullMode(),
+		Workers: 1, Properties: props}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.Run(ctx, &Request{Load: loadT(t, testnet.Figure4Fixed), Mode: epvp.FullMode(),
+		Workers: 1, Properties: props})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stageStatus(warm, StageSRC); s != StatusWarm {
+		t.Fatalf("delta run SRC status = %q, want warm (stages: %+v)", s, warm.Stages)
+	}
+	cold, err := (&Runner{}).Run(ctx, &Request{Load: loadT(t, testnet.Figure4Fixed), Mode: epvp.FullMode(),
+		Workers: 1, Properties: props})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Routing.Violations) != len(cold.Routing.Violations) {
+		t.Fatalf("warm violations = %d, cold = %d", len(warm.Routing.Violations), len(cold.Routing.Violations))
+	}
+	for i := range warm.Routing.Violations {
+		if warm.Routing.Violations[i].String() != cold.Routing.Violations[i].String() {
+			t.Errorf("violation %d differs:\nwarm %s\ncold %s", i,
+				warm.Routing.Violations[i], cold.Routing.Violations[i])
+		}
+	}
+	if !warm.SRC.Res.Converged {
+		t.Error("warm run did not converge")
+	}
+}
+
+// TestRunnerIncompatibleDeltaFallsBackCold: a delta that changes the
+// community atom universe must refuse the warm seed and run cold.
+func TestRunnerIncompatibleDeltaFallsBackCold(t *testing.T) {
+	r := &Runner{Cache: NewStageCache(Capacities{})}
+	ctx := context.Background()
+	props := []properties.Kind{properties.RouteLeakFree}
+	if _, err := r.Run(ctx, &Request{Load: loadT(t, testnet.Figure4), Mode: epvp.FullMode(),
+		Workers: 1, Properties: props}); err != nil {
+		t.Fatal(err)
+	}
+	changed := strings.ReplaceAll(testnet.Figure4, "300:100", "300:777")
+	out, err := r.Run(ctx, &Request{Load: loadT(t, changed), Mode: epvp.FullMode(),
+		Workers: 1, Properties: props})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stageStatus(out, StageSRC); s != StatusMiss {
+		t.Errorf("atom-universe delta SRC status = %q, want miss (cold fallback)", s)
+	}
+}
+
+// TestRunnerUncacheableLoad: a pre-built network (no digest) must never
+// populate or consult the cache.
+func TestRunnerUncacheableLoad(t *testing.T) {
+	cache := NewStageCache(Capacities{})
+	r := &Runner{Cache: cache}
+	ctx := context.Background()
+	load := loadT(t, testnet.Figure4)
+	bare := FromNetwork(load.Net)
+	for i := 0; i < 2; i++ {
+		out, err := r.Run(ctx, &Request{Load: bare, Mode: epvp.FullMode(), Workers: 1,
+			Properties: []properties.Kind{properties.RouteLeakFree}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := stageStatus(out, StageSRC); s != StatusMiss {
+			t.Errorf("run %d: digestless load SRC status = %q, want miss", i, s)
+		}
+	}
+	if n := cache.Len(StageSRC); n != 0 {
+		t.Errorf("digestless runs cached %d SRC artifacts", n)
+	}
+}
+
+// TestRunnerBTEValidation pins the early BTE check and its error text.
+func TestRunnerBTEValidation(t *testing.T) {
+	r := &Runner{}
+	_, err := r.Run(context.Background(), &Request{Load: loadT(t, testnet.Figure4),
+		Mode: epvp.FullMode(), Workers: 1,
+		Properties: []properties.Kind{properties.BlockToExternal}})
+	if err == nil || !strings.Contains(err.Error(), "requires Options.BTE") {
+		t.Errorf("err = %v, want the BTE requirement error", err)
+	}
+}

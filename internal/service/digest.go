@@ -1,45 +1,22 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"strings"
-
 	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/pipeline"
 )
 
 // CanonicalConfig normalizes configuration text for digesting so that
 // submissions differing only in comments, blank lines, or whitespace map to
-// the same cache key. It mirrors the parser's tokenizer: comments ("//" and
-// "#") are stripped, each line is reduced to its space-joined tokens, and
-// empty lines are dropped.
+// the same cache key. It delegates to the pipeline's canonicalizer, which
+// mirrors the parser's tokenizer.
 func CanonicalConfig(text string) string {
-	var b strings.Builder
-	for _, line := range strings.Split(text, "\n") {
-		if i := strings.Index(line, "//"); i >= 0 {
-			line = line[:i]
-		}
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		b.WriteString(strings.Join(fields, " "))
-		b.WriteByte('\n')
-	}
-	return b.String()
+	return pipeline.CanonicalConfig(text)
 }
 
 // Digest returns the SHA-256 hex digest identifying a verification
 // request: the canonicalized configuration text plus the normalized
-// options. Identical digests request identical work, so the result cache
-// keys on it.
+// options. Identical digests request identical work, so the report cache
+// keys on it. It is the same value expresso.ReportDigest computes.
 func Digest(configText string, opts expresso.Options) string {
-	h := sha256.New()
-	h.Write([]byte(CanonicalConfig(configText)))
-	h.Write([]byte{0})
-	h.Write([]byte(opts.CacheKey()))
-	return hex.EncodeToString(h.Sum(nil))
+	return expresso.ReportDigest(configText, opts)
 }

@@ -45,6 +45,7 @@ type Job struct {
 	report   *expresso.Report
 	errMsg   string
 	cacheHit bool
+	stages   []expresso.StageInfo
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -69,6 +70,13 @@ func (j *Job) Report() *expresso.Report {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.report
+}
+
+// setStages records per-stage cache provenance for the job's status view.
+func (j *Job) setStages(stages []expresso.StageInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stages = stages
 }
 
 func (j *Job) setRunning(now time.Time) {
@@ -103,7 +111,10 @@ type JobStatus struct {
 	CacheHit bool             `json:"cache_hit"`
 	Error    string           `json:"error,omitempty"`
 	Report   *expresso.Report `json:"report,omitempty"`
-	Created  time.Time        `json:"created"`
+	// Stages is the per-stage cache provenance of the run that produced
+	// the report (hit, miss, or warm per pipeline stage).
+	Stages  []expresso.StageInfo `json:"stages,omitempty"`
+	Created time.Time            `json:"created"`
 	Started  *time.Time       `json:"started,omitempty"`
 	Finished *time.Time       `json:"finished,omitempty"`
 }
@@ -122,6 +133,7 @@ func (j *Job) Status() JobStatus {
 	}
 	if j.state.Terminal() {
 		st.Report = j.report
+		st.Stages = j.stages
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -41,7 +41,7 @@ type Metrics struct {
 	EngineRuns atomic.Int64
 
 	mu         sync.Mutex
-	stageNanos [4]int64 // SRC, routing analysis, SPF, forwarding analysis
+	stageNanos [5]int64 // load, SRC, routing analysis, SPF, forwarding analysis
 	stageJobs  int64
 }
 
@@ -49,10 +49,11 @@ type Metrics struct {
 func (m *Metrics) ObserveTiming(t expresso.Timing) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stageNanos[0] += int64(t.SRC)
-	m.stageNanos[1] += int64(t.RoutingAnalysis)
-	m.stageNanos[2] += int64(t.SPF)
-	m.stageNanos[3] += int64(t.ForwardingAnalysis)
+	m.stageNanos[0] += int64(t.Load)
+	m.stageNanos[1] += int64(t.SRC)
+	m.stageNanos[2] += int64(t.RoutingAnalysis)
+	m.stageNanos[3] += int64(t.SPF)
+	m.stageNanos[4] += int64(t.ForwardingAnalysis)
 	m.stageJobs++
 }
 
@@ -62,17 +63,18 @@ func (m *Metrics) StageTotals() (expresso.Timing, int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return expresso.Timing{
-		SRC:                time.Duration(m.stageNanos[0]),
-		RoutingAnalysis:    time.Duration(m.stageNanos[1]),
-		SPF:                time.Duration(m.stageNanos[2]),
-		ForwardingAnalysis: time.Duration(m.stageNanos[3]),
+		Load:               time.Duration(m.stageNanos[0]),
+		SRC:                time.Duration(m.stageNanos[1]),
+		RoutingAnalysis:    time.Duration(m.stageNanos[2]),
+		SPF:                time.Duration(m.stageNanos[3]),
+		ForwardingAnalysis: time.Duration(m.stageNanos[4]),
 	}, m.stageJobs
 }
 
 // WriteText renders the counters in Prometheus text exposition format.
 // queueDepth, workers, and engineWorkers are point-in-time gauges supplied
-// by the server.
-func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int) {
+// by the server; cacheStats is the verifier's per-stage cache snapshot.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int, cacheStats []expresso.StageCacheStat) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -97,9 +99,30 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int)
 		fmt.Fprintf(w, "# HELP %s Cumulative %s stage time.\n# TYPE %s counter\n%s %.6f\n",
 			full, name, full, full, d.Seconds())
 	}
+	stage("load", totals.Load)
 	stage("src", totals.SRC)
 	stage("routing_analysis", totals.RoutingAnalysis)
 	stage("spf", totals.SPF)
 	stage("forwarding_analysis", totals.ForwardingAnalysis)
 	counter("expresso_stage_jobs_total", "Jobs aggregated into the stage timings.", jobs)
+
+	if len(cacheStats) > 0 {
+		fmt.Fprintf(w, "# HELP expresso_stage_cache_hits_total Stage-cache hits by pipeline stage.\n# TYPE expresso_stage_cache_hits_total counter\n")
+		for _, st := range cacheStats {
+			fmt.Fprintf(w, "expresso_stage_cache_hits_total{stage=%q} %d\n", st.Stage, st.Hits)
+		}
+		fmt.Fprintf(w, "# HELP expresso_stage_cache_misses_total Stage-cache misses by pipeline stage.\n# TYPE expresso_stage_cache_misses_total counter\n")
+		for _, st := range cacheStats {
+			fmt.Fprintf(w, "expresso_stage_cache_misses_total{stage=%q} %d\n", st.Stage, st.Misses)
+		}
+		fmt.Fprintf(w, "# HELP expresso_stage_cache_entries Stage-cache resident artifacts by pipeline stage.\n# TYPE expresso_stage_cache_entries gauge\n")
+		for _, st := range cacheStats {
+			fmt.Fprintf(w, "expresso_stage_cache_entries{stage=%q} %d\n", st.Stage, st.Entries)
+		}
+		var warms int64
+		for _, st := range cacheStats {
+			warms += st.WarmStarts
+		}
+		counter("expresso_warm_starts_total", "SRC computations warm-started from a cached fixed point.", warms)
+	}
 }

@@ -31,9 +31,12 @@ type Config struct {
 	// QueueDepth bounds the FIFO job queue; submissions beyond it are
 	// rejected with 503 (default: 64).
 	QueueDepth int
-	// CacheSize is the LRU result-cache capacity in reports (default:
-	// 128; negative disables caching).
+	// CacheSize is the LRU report-cache capacity (default: 128; negative
+	// disables all stage caches, making every run cold).
 	CacheSize int
+	// GC selects the post-SRC memory-reclamation policy for jobs
+	// (default GCAuto: reclaim only under heap pressure).
+	GC expresso.GCMode
 	// JobTimeout is the default per-job deadline, measured from the
 	// moment a worker picks the job up (default: 5m; negative disables).
 	JobTimeout time.Duration
@@ -83,11 +86,13 @@ var ErrQueueFull = errors.New("service: job queue is full")
 var ErrDraining = errors.New("service: server is draining")
 
 // Server is the verification daemon: a bounded worker pool consuming a
-// FIFO job queue, fronted by a digest-keyed LRU result cache.
+// FIFO job queue, fronted by a staged Verifier whose stage-granular
+// caches (load, SRC, analysis, SPF, report) let repeated and incremental
+// submissions reuse earlier work.
 type Server struct {
-	cfg     Config
-	Metrics *Metrics
-	cache   *Cache
+	cfg      Config
+	Metrics  *Metrics
+	verifier *expresso.Verifier
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -101,32 +106,35 @@ type Server struct {
 	wg     sync.WaitGroup
 	nextID atomic.Int64
 
-	// runVerify performs one verification; tests may substitute it.
-	runVerify func(ctx context.Context, configText string, opts expresso.Options) (*expresso.Report, error)
+	// runVerify performs one verification; tests may substitute it. The
+	// RunInfo (nil from substitutes) carries per-stage cache provenance.
+	runVerify func(ctx context.Context, configText string, opts expresso.Options) (*expresso.Report, *expresso.RunInfo, error)
 }
 
 // New builds a server. Call Start to launch the worker pool.
 func New(cfg Config) *Server {
 	cfg.applyDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	vcfg := expresso.VerifierConfig{ReportCache: cfg.CacheSize, GC: cfg.GC}
+	if cfg.CacheSize < 0 {
+		// Caching disabled entirely: no stage may retain artifacts.
+		vcfg = expresso.VerifierConfig{
+			LoadCache: -1, SRCCache: -1, RoutingCache: -1,
+			ForwardingCache: -1, SPFCache: -1, ReportCache: -1,
+			GC: cfg.GC,
+		}
+	}
+	s := &Server{
 		cfg:        cfg,
 		Metrics:    &Metrics{},
-		cache:      NewCache(cfg.CacheSize),
+		verifier:   expresso.NewVerifier(vcfg),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		jobs:       map[string]*Job{},
-		runVerify:  runVerify,
 	}
-}
-
-func runVerify(ctx context.Context, configText string, opts expresso.Options) (*expresso.Report, error) {
-	net, err := expresso.Load(configText)
-	if err != nil {
-		return nil, err
-	}
-	return net.VerifyContext(ctx, opts)
+	s.runVerify = s.verifier.VerifyText
+	return s
 }
 
 // Start launches the worker pool.
@@ -190,10 +198,13 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 	}
 	job.ctx, job.cancel = context.WithCancel(s.baseCtx)
 
-	if rep, ok := s.cache.Get(digest); ok {
+	if rep, ok := s.verifier.CachedReport(digest); ok {
 		s.Metrics.JobsAccepted.Add(1)
 		s.Metrics.CacheHits.Add(1)
 		job.cacheHit = true
+		job.stages = []expresso.StageInfo{{
+			Stage: "report", Status: expresso.StageHit, Key: digest,
+		}}
 		job.finish(JobDone, rep, "", now)
 		s.register(job)
 		return job, true, nil
@@ -281,11 +292,17 @@ func (s *Server) runJob(job *Job) {
 	if opts.Workers == 0 {
 		opts.Workers = s.cfg.EngineWorkers
 	}
-	rep, err := s.runVerify(ctx, job.configText, opts)
+	rep, info, err := s.runVerify(ctx, job.configText, opts)
 	now := time.Now()
 	switch {
 	case err == nil:
-		s.cache.Add(job.Digest, rep)
+		// The default runVerify (Verifier.VerifyText) has already stored
+		// the report under this digest; storing again covers substituted
+		// verification functions and is a no-op refresh otherwise.
+		s.verifier.StoreReport(job.Digest, rep)
+		if info != nil {
+			job.setStages(info.Stages)
+		}
 		s.Metrics.JobsCompleted.Add(1)
 		s.Metrics.ObserveTiming(rep.Timing)
 		job.finish(JobDone, rep, "", now)
@@ -448,5 +465,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers)
+	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers, s.verifier.CacheStats())
 }

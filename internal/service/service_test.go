@@ -182,7 +182,10 @@ func TestCacheHit(t *testing.T) {
 // in the EPVP fixed point, cancels it via the API mid-run, and checks the
 // job stops well before the measured uncancelled duration.
 func TestCancelMidEPVP(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1})
+	// Caching disabled: with the stage cache on, the second run would
+	// reuse the baseline's converged SRC artifact and finish before the
+	// cancel ever lands.
+	s, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1})
 	region := netgen.CSP(netgen.CSPOldRegion(1))
 
 	// Uncancelled baseline (leak-only keeps the run EPVP-dominated).
@@ -194,7 +197,8 @@ func TestCancelMidEPVP(t *testing.T) {
 	}
 	t.Logf("uncancelled baseline: %v", baseline)
 
-	// Different property set -> different digest -> a real engine run.
+	// Different property set -> different digest -> a real engine run
+	// (and no stage reuse, since caching is off).
 	start = time.Now()
 	code, st := postVerify(t, ts, VerifyRequest{Config: region, Properties: []string{"hijack"}})
 	if code != http.StatusAccepted {
@@ -203,8 +207,8 @@ func TestCancelMidEPVP(t *testing.T) {
 	for getJob(t, ts, st.ID).State == JobQueued {
 		time.Sleep(5 * time.Millisecond)
 	}
-	// Let the run get into the fixed point (past the uninterruptible
-	// policy-compile phase on fast machines) before cancelling.
+	// Let the run get going (into policy compilation or the fixed point,
+	// both of which honor the context) before cancelling.
 	settle := baseline / 4
 	if settle > 2*time.Second {
 		settle = 2 * time.Second
@@ -251,12 +255,12 @@ func TestCancelMidEPVP(t *testing.T) {
 func TestQueueFullRejects(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	release := make(chan struct{})
-	s.runVerify = func(ctx context.Context, cfg string, opts expresso.Options) (*expresso.Report, error) {
+	s.runVerify = func(ctx context.Context, cfg string, opts expresso.Options) (*expresso.Report, *expresso.RunInfo, error) {
 		select {
 		case <-release:
-			return &expresso.Report{Converged: true}, nil
+			return &expresso.Report{Converged: true}, nil, nil
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 	defer close(release)
@@ -293,10 +297,10 @@ func TestQueueFullRejects(t *testing.T) {
 func TestDrain(t *testing.T) {
 	s := New(Config{Workers: 1})
 	started := make(chan struct{})
-	s.runVerify = func(ctx context.Context, cfg string, opts expresso.Options) (*expresso.Report, error) {
+	s.runVerify = func(ctx context.Context, cfg string, opts expresso.Options) (*expresso.Report, *expresso.RunInfo, error) {
 		close(started)
 		time.Sleep(100 * time.Millisecond)
-		return &expresso.Report{Converged: true}, nil
+		return &expresso.Report{Converged: true}, nil, nil
 	}
 	s.Start()
 	job, _, err := s.Submit("router A\n", expresso.Options{}, 0)
@@ -369,10 +373,55 @@ func TestMetricsEndpoint(t *testing.T) {
 		"expresso_queue_depth 0",
 		"expresso_stage_src_seconds_total",
 		"expresso_stage_jobs_total 1",
+		`expresso_stage_cache_hits_total{stage="report"} 1`,
+		`expresso_stage_cache_misses_total{stage="src"} 1`,
+		`expresso_stage_cache_entries{stage="src"} 1`,
+		"expresso_warm_starts_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q\n%s", want, text)
 		}
+	}
+}
+
+// TestJobStagesProvenance checks the API surfaces per-stage cache
+// provenance: the first run misses everywhere, a property-set change on
+// the same snapshot reuses the converged SRC artifact.
+func TestJobStagesProvenance(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	stageStatus := func(st JobStatus, stage string) string {
+		for _, s := range st.Stages {
+			if s.Stage == stage {
+				return s.Status
+			}
+		}
+		return ""
+	}
+
+	code, first := postVerify(t, ts, VerifyRequest{Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true})
+	if code != http.StatusOK || first.State != JobDone {
+		t.Fatalf("first run: status %d state %s (err %q)", code, first.State, first.Error)
+	}
+	if got := stageStatus(first, "src"); got != expresso.StageMiss {
+		t.Errorf("first run SRC status = %q, want miss (stages %+v)", got, first.Stages)
+	}
+
+	code, second := postVerify(t, ts, VerifyRequest{Config: testnet.Figure4Fixed, Properties: []string{"leak", "hijack"}, Wait: true})
+	if code != http.StatusOK || second.State != JobDone {
+		t.Fatalf("second run: status %d state %s (err %q)", code, second.State, second.Error)
+	}
+	if got := stageStatus(second, "src"); got != expresso.StageHit {
+		t.Errorf("property-set change SRC status = %q, want hit (stages %+v)", got, second.Stages)
+	}
+
+	// Identical resubmission: answered from the report cache, with the
+	// single report-stage entry marking the hit.
+	code, third := postVerify(t, ts, VerifyRequest{Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true})
+	if code != http.StatusOK || !third.CacheHit {
+		t.Fatalf("resubmission: status %d cacheHit %v", code, third.CacheHit)
+	}
+	if got := stageStatus(third, "report"); got != expresso.StageHit {
+		t.Errorf("resubmission report status = %q, want hit", got)
 	}
 }
 
@@ -417,7 +466,7 @@ func TestMalformedConfigFails(t *testing.T) {
 	if got := s.Metrics.JobsFailed.Load(); got != 1 {
 		t.Errorf("JobsFailed = %d, want 1", got)
 	}
-	if s.cache.Len() != 0 {
+	if s.verifier.CachedReports() != 0 {
 		t.Error("failed job must not be cached")
 	}
 }

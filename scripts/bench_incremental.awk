@@ -1,0 +1,33 @@
+# Turns `go test -bench` output for the cold/warm region-1 pair into
+# BENCH_pr3.json (see `make bench-incremental`).
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && NF >= 7 {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+	ns[name] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	cold = "BenchmarkVerifyRegion1"
+	warm = "BenchmarkVerifyRegion1WarmDelta"
+	printf "{\n"
+	printf "  \"pr\": 3,\n"
+	printf "  \"benchmark\": \"cold vs warm-started incremental verification (CSP region1, leak-only)\",\n"
+	printf "  \"command\": \"make bench-incremental\",\n"
+	printf "  \"environment\": { \"cpu\": \"%s\" },\n", cpu
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }%s\n", \
+			name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+	}
+	printf "  ]"
+	if ((cold in ns) && (warm in ns) && ns[warm] > 0) {
+		printf ",\n  \"cold_over_warm_speedup\": %.2f\n", ns[cold] / ns[warm]
+	} else {
+		printf "\n"
+	}
+	printf "}\n"
+}

@@ -1,0 +1,195 @@
+package expresso
+
+import (
+	"context"
+	"time"
+
+	"github.com/expresso-verify/expresso/internal/pipeline"
+)
+
+// StageInfo re-exports the pipeline's per-stage provenance record: which
+// stage ran, whether its artifact was a cache hit, a cold miss, or a
+// warm-started computation, under what key, and how long it took.
+type StageInfo = pipeline.StageInfo
+
+// StageCacheStat re-exports one stage's cache counters.
+type StageCacheStat = pipeline.StageStat
+
+// Stage provenance statuses (StageInfo.Status).
+const (
+	StageHit  = pipeline.StatusHit
+	StageMiss = pipeline.StatusMiss
+	StageWarm = pipeline.StatusWarm
+)
+
+// VerifierConfig sizes a Verifier's per-stage caches. Zero fields take
+// the pipeline defaults; negative values disable that stage's cache.
+type VerifierConfig struct {
+	// LoadCache holds parsed networks keyed by config digest.
+	LoadCache int
+	// SRCCache holds converged EPVP fixed points — the expensive stage,
+	// and the seeds for warm-started re-verification. Each entry pins a
+	// BDD manager, so the default is small (4).
+	SRCCache int
+	// RoutingCache and ForwardingCache hold per-property-set violation
+	// lists keyed by upstream artifact digests.
+	RoutingCache    int
+	ForwardingCache int
+	// SPFCache holds symbolic forwarding results (FIBs and PECs).
+	SPFCache int
+	// ReportCache holds assembled reports keyed by ReportDigest — the
+	// same whole-request cache the service used to keep, now the last
+	// layer of six.
+	ReportCache int
+	// GC is the default post-SRC reclamation policy for requests whose
+	// Options.GC is GCAuto.
+	GC GCMode
+}
+
+// Verifier runs text-submitted verifications through the staged pipeline
+// with stage-granular caching and incremental EPVP warm-starts:
+//
+//   - An identical resubmission is answered from the report cache.
+//   - A property-set change reuses the converged SRC artifact and re-runs
+//     only the analysis stages (adding a forwarding property also reuses
+//     a cached SPF artifact if one exists).
+//   - A config delta touching a subset of routers warm-starts the EPVP
+//     fixed point from the nearest cached converged state, recomputing
+//     only the dirty closure — and produces a report byte-identical (up
+//     to timings, heap, and iteration counts) to a cold run.
+//
+// A Verifier is safe for concurrent use; computation on shared symbolic
+// state is serialized per SRC artifact.
+type Verifier struct {
+	cache *pipeline.StageCache
+	gc    GCMode
+}
+
+// NewVerifier builds a Verifier with the configured cache capacities.
+func NewVerifier(cfg VerifierConfig) *Verifier {
+	return &Verifier{
+		cache: pipeline.NewStageCache(pipeline.Capacities{
+			Load:       cfg.LoadCache,
+			SRC:        cfg.SRCCache,
+			Routing:    cfg.RoutingCache,
+			SPF:        cfg.SPFCache,
+			Forwarding: cfg.ForwardingCache,
+			Report:     cfg.ReportCache,
+		}),
+		gc: cfg.GC,
+	}
+}
+
+// RunInfo describes how a VerifyText call was answered: the request
+// digest, whether the whole report came from cache, and the per-stage
+// provenance of whatever did run.
+type RunInfo struct {
+	// Digest is the report-cache key (see ReportDigest).
+	Digest string `json:"digest"`
+	// CacheHit is true when the report was served whole from the report
+	// cache; Stages then holds the single report-stage entry.
+	CacheHit bool `json:"cache_hit"`
+	// Stages lists per-stage provenance in pipeline order.
+	Stages []StageInfo `json:"stages"`
+}
+
+// ReportDigest is the digest identifying a verification request — the
+// canonicalized configuration text plus the normalized options — used as
+// the report-cache key by Verifier and the service.
+func ReportDigest(configText string, opts Options) string {
+	return pipeline.ReportKey(configText, opts.CacheKey())
+}
+
+// VerifyText verifies a configuration text, reusing cached stage
+// artifacts where the request's stage keys match earlier runs. The
+// returned RunInfo records the provenance of every stage.
+func (v *Verifier) VerifyText(ctx context.Context, configText string, opts Options) (*Report, *RunInfo, error) {
+	opts.normalize()
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	info := &RunInfo{Digest: ReportDigest(configText, opts)}
+
+	start := time.Now()
+	if cached, ok := v.cache.Get(pipeline.StageReport, info.Digest); ok {
+		info.CacheHit = true
+		info.Stages = append(info.Stages, StageInfo{
+			Stage: pipeline.StageReport, Status: StageHit,
+			Key: info.Digest, Duration: time.Since(start),
+		})
+		return cached.(*Report), info, nil
+	}
+
+	load, loadInfo, err := v.load(configText)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Stages = append(info.Stages, loadInfo)
+
+	runner := &pipeline.Runner{Cache: v.cache}
+	req := opts.request(load)
+	if req.GC == GCAuto {
+		req.GC = v.gc
+	}
+	out, err := runner.Run(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.Stages = append(info.Stages, out.Stages...)
+
+	rep := assembleReport(load.Net.Statistics(), out)
+	rep.Timing.Load = load.Elapsed
+	v.cache.Add(pipeline.StageReport, info.Digest, rep)
+	info.Stages = append(info.Stages, StageInfo{
+		Stage: pipeline.StageReport, Status: StageMiss, Key: info.Digest,
+	})
+	return rep, info, nil
+}
+
+// load resolves the Load stage through its cache.
+func (v *Verifier) load(configText string) (*pipeline.LoadArtifact, StageInfo, error) {
+	start := time.Now()
+	key := pipeline.ConfigDigest(configText)
+	if cached, ok := v.cache.Get(pipeline.StageLoad, key); ok {
+		return cached.(*pipeline.LoadArtifact), StageInfo{
+			Stage: pipeline.StageLoad, Status: StageHit, Key: key, Duration: time.Since(start),
+		}, nil
+	}
+	art, err := pipeline.Load(configText)
+	if err != nil {
+		return nil, StageInfo{}, err
+	}
+	v.cache.Add(pipeline.StageLoad, key, art)
+	return art, StageInfo{
+		Stage: pipeline.StageLoad, Status: StageMiss, Key: key, Duration: time.Since(start),
+	}, nil
+}
+
+// CachedReport answers from the report cache alone (no stages run),
+// counting a report-stage hit or miss. The service's submit path uses it
+// to decide between answering immediately and enqueueing a job.
+func (v *Verifier) CachedReport(digest string) (*Report, bool) {
+	cached, ok := v.cache.Get(pipeline.StageReport, digest)
+	if !ok {
+		return nil, false
+	}
+	return cached.(*Report), true
+}
+
+// StoreReport inserts a finished report under its digest. VerifyText does
+// this itself; the service also calls it when a substituted verification
+// function produced the report.
+func (v *Verifier) StoreReport(digest string, rep *Report) {
+	v.cache.Add(pipeline.StageReport, digest, rep)
+}
+
+// CachedReports reports the number of reports currently cached.
+func (v *Verifier) CachedReports() int {
+	return v.cache.Len(pipeline.StageReport)
+}
+
+// CacheStats snapshots every stage's hit/miss/entry counters in pipeline
+// order (the service exports them on /metrics).
+func (v *Verifier) CacheStats() []StageCacheStat {
+	return v.cache.Stats()
+}

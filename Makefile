@@ -10,7 +10,7 @@ GO ?= go
 # engine under the race detector.
 RACE_WORKERS ?= 4
 
-.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental
+.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace
 
 ci: vet staticcheck build race race-parallel
 
@@ -65,3 +65,19 @@ bench-incremental:
 		-benchmem -benchtime=3x | tee /tmp/bench_incremental.out
 	awk -f scripts/bench_incremental.awk /tmp/bench_incremental.out > BENCH_pr3.json
 	@cat BENCH_pr3.json
+
+# Tracing cost on region 1: BenchmarkVerifyRegion1 is the nil-tracer
+# baseline, BenchmarkVerifyRegion1Traced attaches a run-scoped tracer
+# (per-round EPVP snapshots, SPF events). Each benchmark runs in its own
+# process — back to back in one `go test` the second inherits the first's
+# grown heap and pays its GC debt, which dwarfs the tracing delta being
+# measured. Records both into BENCH_pr4.json, then runs the tier-2
+# overhead assertion (<5%, see TestTraceOverhead).
+bench-trace:
+	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1$$' \
+		-benchmem -benchtime=5x | tee /tmp/bench_trace.out
+	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1Traced$$' \
+		-benchmem -benchtime=5x | tee -a /tmp/bench_trace.out
+	awk -f scripts/bench_trace.awk /tmp/bench_trace.out > BENCH_pr4.json
+	@cat BENCH_pr4.json
+	EXPRESSO_TRACE_OVERHEAD=1 $(GO) test . -run TestTraceOverhead -count=1 -v -timeout 30m

@@ -126,6 +126,31 @@ func BenchmarkVerifyRegion1(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyRegion1Traced is BenchmarkVerifyRegion1 with a run-scoped
+// tracer attached, so `make bench-trace` can price the enabled tracing
+// path (per-round EPVP snapshots, SPF events) against the nil-tracer
+// baseline. The two are recorded side by side in BENCH_pr4.json.
+func BenchmarkVerifyRegion1Traced(b *testing.B) {
+	text := netgen.CSP(netgen.CSPOldRegion(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := expresso.Load(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := expresso.Options{
+			Properties: []expresso.Kind{expresso.RouteLeakFree},
+			Trace:      expresso.NewTracer(),
+		}
+		if _, err := net.Verify(opts); err != nil {
+			b.Fatal(err)
+		}
+		if tr := opts.Trace.Finish(); len(tr.EPVPRounds) == 0 {
+			b.Fatal("traced run recorded no EPVP rounds")
+		}
+	}
+}
+
 // BenchmarkVerifyRegion1Parallel measures the same pipeline (all three §7.1
 // properties, so the SPF stage is included) across engine worker counts.
 // Speedups require real cores: on a single-CPU machine the parallel

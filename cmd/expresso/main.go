@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	expresso check -file net.cfg [-props leak,hijack,traffic] [-bte 11537:888] [-minus] [-json]
+//	expresso check -file net.cfg [-props leak,hijack,traffic] [-bte 11537:888] [-minus] [-json] [-trace out.json]
 //	expresso check -dir configs/
 //	expresso stats -file net.cfg
 //	expresso gen -dataset full-old -out configs/
 //	expresso serve -addr :8080 [-workers N] [-engine-workers M] [-queue N] [-cache N] [-timeout 5m]
+//	               [-trace] [-debug-addr localhost:6060] [-log-format text|json]
 //
 // Datasets: region1..region4, full-old, full-new, internet2.
 package main
@@ -17,7 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"github.com/expresso-verify/expresso/internal/route"
 	"github.com/expresso-verify/expresso/internal/service"
 	"github.com/expresso-verify/expresso/internal/symbolic"
+	"github.com/expresso-verify/expresso/internal/telemetry"
 )
 
 func main() {
@@ -135,9 +137,13 @@ func cmdCheck(args []string) {
 	asJSON := fs.Bool("json", false, "print the report as JSON instead of the table")
 	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	explainCache := fs.Bool("explain-cache", false, "run through the staged verifier and print per-stage provenance (status, key, duration)")
+	traceFile := fs.String("trace", "", "write a JSON run trace (per-stage spans, EPVP rounds, SPF events) to this file")
 	fs.Parse(args)
 
 	opts := expresso.Options{Workers: *workers}
+	if *traceFile != "" {
+		opts.Trace = expresso.NewTracer()
+	}
 	if *minus {
 		opts.Mode = expresso.ExpressoMinusMode()
 	}
@@ -164,15 +170,33 @@ func cmdCheck(args []string) {
 		info *expresso.RunInfo
 		err  error
 	)
-	if *explainCache {
+	if *explainCache || *traceFile != "" {
+		// The staged verifier path also times the load stage, so traces
+		// carry a span for every pipeline stage.
 		text := loadConfigText(*file, *dir)
 		v := expresso.NewVerifier(expresso.VerifierConfig{})
 		rep, info, err = v.VerifyText(context.Background(), text, opts)
+		if !*explainCache {
+			info = nil // provenance output wasn't asked for
+		}
 	} else {
 		rep, err = loadNetwork(*file, *dir).Verify(opts)
 	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := opts.Trace.WriteJSON(f); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceFile)
 	}
 	if *asJSON {
 		var payload any = rep
@@ -304,7 +328,16 @@ func cmdServe(args []string) {
 	cacheSize := fs.Int("cache", 128, "result cache capacity in reports (-1 disables)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "default per-job deadline")
 	drainWait := fs.Duration("drain", 30*time.Second, "max graceful drain time on SIGTERM")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	trace := fs.Bool("trace", false, "record a run trace per job, served on GET /v1/jobs/{id}/trace")
+	debugAddr := fs.String("debug-addr", "", "serve pprof and /debug/stats on this extra address (e.g. localhost:6060)")
 	fs.Parse(args)
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	slog.SetDefault(logger)
 
 	srv := service.New(service.Config{
 		Workers:       *workers,
@@ -312,6 +345,8 @@ func cmdServe(args []string) {
 		QueueDepth:    *queueDepth,
 		CacheSize:     *cacheSize,
 		JobTimeout:    *timeout,
+		Logger:        logger,
+		Trace:         *trace,
 	})
 	srv.Start()
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -320,24 +355,34 @@ func cmdServe(args []string) {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *debugAddr != "" {
+		// The profiling endpoints live on their own listener so they are
+		// never reachable through the public API address.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		go http.Serve(dln, service.DebugHandler())
+		logger.Info("debug endpoints listening", "addr", dln.Addr().String())
+	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	log.Printf("expresso serve: listening on %s (workers=%d queue=%d cache=%d)",
-		ln.Addr(), srv.Workers(), *queueDepth, *cacheSize)
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", srv.Workers(),
+		"queue", *queueDepth, "cache", *cacheSize, "trace", *trace)
 
 	select {
 	case sig := <-sigCh:
-		log.Printf("expresso serve: %v received, draining", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
 		if err := srv.Drain(ctx); err != nil {
-			log.Printf("expresso serve: drain incomplete: %v", err)
+			logger.Error("drain incomplete", "error", err)
 			os.Exit(1)
 		}
-		log.Printf("expresso serve: drained cleanly")
+		logger.Info("drained cleanly")
 	case err := <-errCh:
 		fatalf("%v", err)
 	}

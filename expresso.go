@@ -21,7 +21,6 @@ package expresso
 import (
 	"context"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -33,6 +32,7 @@ import (
 	"github.com/expresso-verify/expresso/internal/pipeline"
 	"github.com/expresso-verify/expresso/internal/properties"
 	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/telemetry"
 	"github.com/expresso-verify/expresso/internal/topology"
 )
 
@@ -95,7 +95,24 @@ type Options struct {
 	// GCNever disables reclamation. Like Workers, GC changes how a report
 	// is produced, never its content, so it is excluded from CacheKey.
 	GC GCMode
+	// Trace, when non-nil, records a run-scoped telemetry trace: one
+	// span per pipeline stage (with cache provenance) plus fine-grained
+	// engine events — per-EPVP-round convergence records and per-router
+	// SPF work. Call Trace.Finish (or WriteJSON) after the run to obtain
+	// the trace. A nil Trace is the default and costs nothing on the
+	// engine's hot paths. Like Workers and GC, Trace never changes a
+	// report's content and is excluded from CacheKey.
+	Trace *Tracer
 }
+
+// Tracer re-exports the telemetry run-trace recorder (see Options.Trace).
+type Tracer = telemetry.Tracer
+
+// Trace re-exports the frozen trace document a Tracer produces.
+type Trace = telemetry.Trace
+
+// NewTracer starts a run-scoped trace recorder for Options.Trace.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
 
 // GCMode re-exports the pipeline's post-SRC reclamation policy.
 type GCMode = pipeline.GCMode
@@ -115,11 +132,7 @@ func (o *Options) normalize() {
 		o.Properties = []Kind{RouteLeakFree, RouteHijackFree, TrafficHijackFree}
 	}
 	if o.Workers == 0 {
-		if env := os.Getenv("EXPRESSO_WORKERS"); env != "" {
-			if n, err := strconv.Atoi(env); err == nil && n > 0 {
-				o.Workers = n
-			}
-		}
+		o.Workers = telemetry.WorkersFromEnv()
 	}
 }
 
@@ -291,7 +304,20 @@ func (n *Network) VerifyContext(ctx context.Context, opts Options) (*Report, err
 	if err != nil {
 		return nil, err
 	}
+	if opts.Trace != nil {
+		// A pre-loaded network has no config text, hence no digest.
+		opts.Trace.SetMeta("", opts.Mode.Key(), opts.CacheKey(), out.SRC.Workers)
+		traceStages(opts.Trace, out.Stages)
+	}
 	return assembleReport(n.Topo.Statistics(), out), nil
+}
+
+// traceStages records the pipeline's per-stage provenance entries as
+// trace spans (nil-tracer safe).
+func traceStages(tr *Tracer, stages []StageInfo) {
+	for _, st := range stages {
+		tr.Span(st.Stage, st.Status, st.Key, st.Note, st.Duration)
+	}
 }
 
 // validate rejects option combinations the pipeline cannot run. Checked
@@ -313,6 +339,7 @@ func (o *Options) request(load *pipeline.LoadArtifact) *pipeline.Request {
 		BTE:        o.BTE,
 		Workers:    o.Workers,
 		GC:         o.GC,
+		Trace:      o.Trace,
 	}
 }
 

@@ -84,9 +84,10 @@ const (
 )
 
 type uniqueStripe struct {
-	mu sync.Mutex
-	t  hashTable
-	_  [40]byte // keep neighboring stripes off one cache line
+	mu   sync.Mutex
+	t    hashTable
+	hits int64 // mk lookups that reused a canonical node (guarded by mu)
+	_    [32]byte // keep neighboring stripes off one cache line
 }
 
 // Manager owns a universe of BDD nodes over a fixed number of boolean
@@ -295,6 +296,7 @@ func (m *Manager) mk(level int32, low, high Node) Node {
 	st := &m.unique[hash3(level, int32(low), int32(high))>>stripeShift]
 	st.mu.Lock()
 	if h, ok := st.t.get(level, int32(low), int32(high)); ok {
+		st.hits++
 		st.mu.Unlock()
 		return h
 	}
@@ -328,6 +330,9 @@ func (m *Manager) NVar(i int) Node {
 type Worker struct {
 	m   *Manager
 	ite hashTable
+	// Cumulative memo counters (telemetry). A Worker is single-goroutine
+	// by contract, so plain fields suffice; they survive ClearCache.
+	memoHits, memoMisses int64
 }
 
 // Manager returns the manager this worker builds into.
@@ -340,6 +345,12 @@ func (w *Worker) ClearCache() { w.ite = newHashTable(1024) }
 // CacheSize returns the number of memoized results held by this worker, a
 // proxy for the cache's memory footprint.
 func (w *Worker) CacheSize() int { return w.ite.used }
+
+// MemoStats returns the worker's cumulative ITE-memo hit and miss counts
+// (ClearCache does not reset them). Terminal-case ITE calls touch no memo
+// and count as neither. Must be read with the same single-goroutine
+// discipline as every other Worker method.
+func (w *Worker) MemoStats() (hits, misses int64) { return w.memoHits, w.memoMisses }
 
 // ITE computes if-then-else: f ? g : h. It is the core connective; all other
 // binary operations delegate to it.
@@ -356,8 +367,10 @@ func (w *Worker) ITE(f, g, h Node) Node {
 		return f
 	}
 	if r, ok := w.ite.get(int32(f), int32(g), int32(h)); ok {
+		w.memoHits++
 		return r
 	}
+	w.memoMisses++
 	m := w.m
 	top := m.level(f)
 	if l := m.level(g); l < top {
@@ -845,6 +858,22 @@ func (m *Manager) ClearCaches() {
 // CacheSize returns the number of memoized results in the default worker's
 // cache, a proxy for its memory footprint.
 func (m *Manager) CacheSize() int { return m.def.CacheSize() }
+
+// UniqueStats returns the cumulative unique-table statistics: hits are mk
+// lookups answered by an existing canonical node, created is the number
+// of nodes hash-consed (the misses — nodes are never freed, so this is
+// also NumNodes). Safe for concurrent use; the hit count is a consistent
+// sum across stripes only when no mk races the read, which telemetry
+// callers satisfy by sampling at round boundaries.
+func (m *Manager) UniqueStats() (hits, created int64) {
+	for i := range m.unique {
+		st := &m.unique[i]
+		st.mu.Lock()
+		hits += st.hits
+		st.mu.Unlock()
+	}
+	return hits, m.nNodes.Load()
+}
 
 // Fingerprint returns a 128-bit structural fingerprint of n, derived from
 // the BDD's canonical shape (variable levels and branch structure) rather

@@ -12,11 +12,10 @@ package epvp
 import (
 	"context"
 	"fmt"
-	"os"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/expresso-verify/expresso/internal/automaton"
 	"github.com/expresso-verify/expresso/internal/bdd"
@@ -24,6 +23,7 @@ import (
 	"github.com/expresso-verify/expresso/internal/config"
 	"github.com/expresso-verify/expresso/internal/route"
 	"github.com/expresso-verify/expresso/internal/symbolic"
+	"github.com/expresso-verify/expresso/internal/telemetry"
 	"github.com/expresso-verify/expresso/internal/topology"
 )
 
@@ -70,6 +70,11 @@ type Engine struct {
 	// 0 is resolved to runtime.GOMAXPROCS(0) at Run time. Results are
 	// identical for every value (see RunContext).
 	Workers int
+	// Trace, when non-nil, receives one telemetry.RoundEvent per
+	// fixed-point round. Set it before Run; the pipeline attaches the
+	// request's tracer here for the duration of the SRC stage. A nil
+	// tracer costs one pointer check per round.
+	Trace *telemetry.Tracer
 
 	ctx       symbolic.CompileContext
 	permitAll *symbolic.Transfer
@@ -313,10 +318,8 @@ func (e *Engine) WorkerCount() int {
 	if e.Workers > 0 {
 		return e.Workers
 	}
-	if env := os.Getenv("EXPRESSO_WORKERS"); env != "" {
-		if n, err := strconv.Atoi(env); err == nil && n > 0 {
-			return n
-		}
+	if n := telemetry.WorkersFromEnv(); n > 0 {
+		return n
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -617,6 +620,16 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 	}
 	for iter := 0; iter < maxIter; iter++ {
 		res.Iterations = iter + 1
+		// Telemetry snapshot: counter reads happen only at round
+		// boundaries (forks quiescent), and only when tracing is on.
+		var roundStart time.Time
+		var nodes0, uhits0, ihits0, imiss0 int64
+		frontier := len(changedLast)
+		if e.Trace.Enabled() {
+			roundStart = time.Now()
+			uhits0, nodes0 = e.Space.M.UniqueStats()
+			ihits0, imiss0 = e.memoStats(forks)
+		}
 		next := map[string][]*symbolic.Route{}
 		changedNow := map[string]bool{}
 		// Work list: the routers whose inputs changed last round.
@@ -680,6 +693,23 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 				changedNow[v] = true
 			}
 		}
+		if e.Trace.Enabled() {
+			uhits1, nodes1 := e.Space.M.UniqueStats()
+			ihits1, imiss1 := e.memoStats(forks)
+			e.Trace.Round(telemetry.RoundEvent{
+				Round:        iter + 1,
+				Recomputed:   len(work),
+				Frontier:     frontier,
+				RIBChanges:   len(changedNow),
+				BDDNodes:     nodes1,
+				BDDGrowth:    nodes1 - nodes0,
+				ITEHits:      ihits1 - ihits0,
+				ITEMisses:    imiss1 - imiss0,
+				UniqueHits:   uhits1 - uhits0,
+				UniqueMisses: nodes1 - nodes0,
+				Duration:     time.Since(roundStart).Nanoseconds(),
+			})
+		}
 		best = next
 		changedLast = changedNow
 		if len(changedNow) == 0 {
@@ -738,6 +768,20 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 		res.ExternalRIB[ext] = kept
 	}
 	return res, nil
+}
+
+// memoStats sums the cumulative ITE-memo counters across the engine's
+// default worker and its round forks. Called only at round boundaries,
+// when the fork goroutines are quiescent (WaitGroup-ordered), so the
+// single-goroutine Worker contract holds.
+func (e *Engine) memoStats(forks []*Engine) (hits, misses int64) {
+	hits, misses = e.Space.W.MemoStats()
+	for _, f := range forks {
+		h, m := f.Space.W.MemoStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // recompute rebuilds one router's RIB from the previous round's state: its

@@ -12,6 +12,7 @@ import (
 	"github.com/expresso-verify/expresso/internal/properties"
 	"github.com/expresso-verify/expresso/internal/route"
 	"github.com/expresso-verify/expresso/internal/spf"
+	"github.com/expresso-verify/expresso/internal/telemetry"
 )
 
 // GCMode controls the memory reclamation between the SRC fixed point and
@@ -101,6 +102,12 @@ type Request struct {
 	BTE        route.Community
 	Workers    int
 	GC         GCMode
+	// Trace, when non-nil, receives fine-grained engine events for the
+	// stages that actually compute (EPVP rounds, SPF per-router work).
+	// Stage spans themselves are recorded by the caller from the
+	// Outcome's StageInfos. Like Workers and GC, Trace never changes a
+	// report's content and is absent from every cache key.
+	Trace *telemetry.Tracer
 }
 
 // Outcome is a completed run: the artifacts of every stage that executed
@@ -207,7 +214,7 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 			return nil, err
 		}
 		src.lock()
-		dp, err := spf.RunContext(ctx, src.Eng, src.Res)
+		dp, err := spf.RunTraced(ctx, src.Eng, src.Res, req.Trace)
 		src.unlock()
 		if err != nil {
 			return nil, err
@@ -272,11 +279,13 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 			if eng, err := epvp.NewWarm(ctx, req.Load.Net, req.Mode, prior.Eng, UnchangedRouters(prior.Load, req.Load)); err == nil {
 				dirty := DirtyRouters(prior.Load, req.Load)
 				eng.Workers = req.Workers
+				eng.Trace = req.Trace
 				// The warm run computes in the prior artifact's manager:
 				// serialize against its other users for the duration.
 				prior.lock()
 				res, err := eng.RunWarmContext(ctx, prior.Res, dirty)
 				prior.unlock()
+				eng.Trace = nil // the engine outlives the run in the cache
 				if err != nil {
 					return nil, info, err
 				}
@@ -298,7 +307,9 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 			return nil, info, err
 		}
 		eng.Workers = req.Workers
+		eng.Trace = req.Trace
 		res, err := eng.RunContext(ctx)
+		eng.Trace = nil // the engine outlives the run in the cache
 		if err != nil {
 			return nil, info, err
 		}

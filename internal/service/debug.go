@@ -1,0 +1,59 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DebugHandler returns the debug mux mounted by `expresso serve
+// -debug-addr`: the full net/http/pprof suite plus a one-shot runtime
+// snapshot. It is deliberately a separate handler so profiling endpoints
+// are never exposed on the public API listener.
+//
+//	GET /debug/pprof/          profile index
+//	GET /debug/pprof/profile   30s CPU profile
+//	GET /debug/pprof/{name}    heap, goroutine, block, mutex, ...
+//	GET /debug/stats           runtime stats as JSON
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/stats", handleDebugStats)
+	return mux
+}
+
+// debugStats is the GET /debug/stats body.
+type debugStats struct {
+	Goroutines   int       `json:"goroutines"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	NumCPU       int       `json:"num_cpu"`
+	HeapAlloc    uint64    `json:"heap_alloc_bytes"`
+	HeapSys      uint64    `json:"heap_sys_bytes"`
+	HeapObjects  uint64    `json:"heap_objects"`
+	TotalAlloc   uint64    `json:"total_alloc_bytes"`
+	NumGC        uint32    `json:"num_gc"`
+	PauseTotalNS uint64    `json:"gc_pause_total_ns"`
+	Time         time.Time `json:"time"`
+}
+
+func handleDebugStats(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	writeJSON(w, http.StatusOK, debugStats{
+		Goroutines:   runtime.NumGoroutine(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		HeapAlloc:    ms.HeapAlloc,
+		HeapSys:      ms.HeapSys,
+		HeapObjects:  ms.HeapObjects,
+		TotalAlloc:   ms.TotalAlloc,
+		NumGC:        ms.NumGC,
+		PauseTotalNS: ms.PauseTotalNs,
+		Time:         time.Now(),
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/telemetry"
 )
 
 // JobState is a job's position in its lifecycle.
@@ -46,6 +47,7 @@ type Job struct {
 	errMsg   string
 	cacheHit bool
 	stages   []expresso.StageInfo
+	trace    *telemetry.Trace
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -77,6 +79,20 @@ func (j *Job) setStages(stages []expresso.StageInfo) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.stages = stages
+}
+
+// setTrace stores the finished run trace served on GET /v1/jobs/{id}/trace.
+func (j *Job) setTrace(tr *telemetry.Trace) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.trace = tr
+}
+
+// Trace returns the job's run trace, nil until the job completed with one.
+func (j *Job) Trace() *telemetry.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 func (j *Job) setRunning(now time.Time) {

@@ -9,6 +9,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,17 +44,46 @@ type Metrics struct {
 	mu         sync.Mutex
 	stageNanos [5]int64 // load, SRC, routing analysis, SPF, forwarding analysis
 	stageJobs  int64
+	stageHists [5]histogram
 }
 
-// ObserveTiming accumulates one completed job's per-stage durations.
+// histBuckets are the fixed upper bounds (seconds) of the stage-latency
+// histograms, spanning sub-millisecond loads to minute-long SRC runs.
+var histBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// stageLabels index the per-stage aggregates in pipeline order.
+var stageLabels = [5]string{"load", "src", "routing_analysis", "spf", "forwarding_analysis"}
+
+// histogram is one fixed-bucket latency histogram. Guarded by Metrics.mu.
+type histogram struct {
+	counts [16]int64 // per-bucket observation counts; [15] is +Inf
+	sum    float64
+	count  int64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(histBuckets) && seconds > histBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// ObserveTiming accumulates one completed job's per-stage durations into
+// both the cumulative counters and the stage-latency histograms.
 func (m *Metrics) ObserveTiming(t expresso.Timing) {
+	stages := [5]time.Duration{t.Load, t.SRC, t.RoutingAnalysis, t.SPF, t.ForwardingAnalysis}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stageNanos[0] += int64(t.Load)
-	m.stageNanos[1] += int64(t.SRC)
-	m.stageNanos[2] += int64(t.RoutingAnalysis)
-	m.stageNanos[3] += int64(t.SPF)
-	m.stageNanos[4] += int64(t.ForwardingAnalysis)
+	for i, d := range stages {
+		m.stageNanos[i] += int64(d)
+		m.stageHists[i].observe(d.Seconds())
+	}
 	m.stageJobs++
 }
 
@@ -105,6 +135,24 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int,
 	stage("spf", totals.SPF)
 	stage("forwarding_analysis", totals.ForwardingAnalysis)
 	counter("expresso_stage_jobs_total", "Jobs aggregated into the stage timings.", jobs)
+
+	m.mu.Lock()
+	hists := m.stageHists
+	m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP expresso_stage_duration_seconds Per-stage verification latency.\n# TYPE expresso_stage_duration_seconds histogram\n")
+	for i, label := range stageLabels {
+		h := &hists[i]
+		var cum int64
+		for b, le := range histBuckets {
+			cum += h.counts[b]
+			fmt.Fprintf(w, "expresso_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
+				label, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(histBuckets)]
+		fmt.Fprintf(w, "expresso_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", label, cum)
+		fmt.Fprintf(w, "expresso_stage_duration_seconds_sum{stage=%q} %.6f\n", label, h.sum)
+		fmt.Fprintf(w, "expresso_stage_duration_seconds_count{stage=%q} %d\n", label, h.count)
+	}
 
 	if len(cacheStats) > 0 {
 		fmt.Fprintf(w, "# HELP expresso_stage_cache_hits_total Stage-cache hits by pipeline stage.\n# TYPE expresso_stage_cache_hits_total counter\n")

@@ -1,0 +1,386 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/telemetry"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+// metricFamily is one parsed exposition family: its TYPE, HELP, and the
+// samples attributed to it (including _bucket/_sum/_count for histograms).
+type metricFamily struct {
+	help    string
+	typ     string
+	samples []metricSample
+}
+
+type metricSample struct {
+	name   string // full sample name, e.g. family_bucket
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses Prometheus text exposition format strictly
+// enough for the format test: every sample line must parse, and every
+// sample must belong to a family announced by # HELP and # TYPE.
+func parseExposition(t *testing.T, text string) map[string]*metricFamily {
+	t.Helper()
+	families := map[string]*metricFamily{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			f := families[name]
+			if f == nil {
+				f = &metricFamily{}
+				families[name] = f
+			}
+			f.help = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: TYPE without type: %q", ln+1, line)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" {
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, typ)
+			}
+			f := families[name]
+			if f == nil {
+				f = &metricFamily{}
+				families[name] = f
+			}
+			f.typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		// Sample line: name[{labels}] value
+		nameAndLabels, valueText, ok := cutLast(line, " ")
+		if !ok {
+			t.Fatalf("line %d: no value: %q", ln+1, line)
+		}
+		value, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valueText, err)
+		}
+		name := nameAndLabels
+		labels := map[string]string{}
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			name = nameAndLabels[:i]
+			body := strings.TrimSuffix(nameAndLabels[i+1:], "}")
+			for _, pair := range strings.Split(body, ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("line %d: bad label pair %q", ln+1, pair)
+				}
+				unquoted, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d: label value %s not quoted: %v", ln+1, v, err)
+				}
+				labels[k] = unquoted
+			}
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if f, ok := families[base]; ok && f.typ == "histogram" {
+				family = base
+				break
+			}
+		}
+		f := families[family]
+		if f == nil {
+			t.Fatalf("line %d: sample %q precedes its # HELP/# TYPE", ln+1, name)
+		}
+		f.samples = append(f.samples, metricSample{name: name, labels: labels, value: value})
+	}
+	return families
+}
+
+// cutLast splits s around the final occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// TestMetricsExpositionFormat checks the full /metrics output is
+// well-formed: every sample belongs to an announced family, counter names
+// end in _total, and histogram buckets are cumulative and consistent with
+// their _count.
+func TestMetricsExpositionFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	req := VerifyRequest{Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true}
+	postVerify(t, ts, req)
+	postVerify(t, ts, req) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	families := parseExposition(t, buf.String())
+
+	if len(families) == 0 {
+		t.Fatal("no metric families exposed")
+	}
+	for name, f := range families {
+		if f.help == "" {
+			t.Errorf("family %s has no # HELP", name)
+		}
+		if f.typ == "" {
+			t.Errorf("family %s has no # TYPE", name)
+		}
+		if len(f.samples) == 0 {
+			t.Errorf("family %s announced but has no samples", name)
+		}
+		if f.typ == "counter" && !strings.HasSuffix(name, "_total") {
+			t.Errorf("counter %s does not end in _total", name)
+		}
+		for _, s := range f.samples {
+			if f.typ != "histogram" && s.name != name {
+				t.Errorf("family %s has stray sample %s", name, s.name)
+			}
+		}
+	}
+
+	hist, ok := families["expresso_stage_duration_seconds"]
+	if !ok {
+		t.Fatal("expresso_stage_duration_seconds histogram missing")
+	}
+	if hist.typ != "histogram" {
+		t.Fatalf("expresso_stage_duration_seconds TYPE = %q", hist.typ)
+	}
+	// Group buckets by stage label and check cumulativeness per stage.
+	type stageAgg struct {
+		les     []float64
+		counts  map[float64]float64
+		infSeen bool
+		inf     float64
+		count   float64
+		sum     float64
+	}
+	stages := map[string]*stageAgg{}
+	agg := func(stage string) *stageAgg {
+		a := stages[stage]
+		if a == nil {
+			a = &stageAgg{counts: map[float64]float64{}}
+			stages[stage] = a
+		}
+		return a
+	}
+	for _, s := range hist.samples {
+		a := agg(s.labels["stage"])
+		switch s.name {
+		case "expresso_stage_duration_seconds_bucket":
+			le := s.labels["le"]
+			if le == "+Inf" {
+				a.infSeen = true
+				a.inf = s.value
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("bad le label %q: %v", le, err)
+			}
+			a.les = append(a.les, f)
+			a.counts[f] = s.value
+		case "expresso_stage_duration_seconds_sum":
+			a.sum = s.value
+		case "expresso_stage_duration_seconds_count":
+			a.count = s.value
+		}
+	}
+	wantStages := []string{"load", "src", "routing_analysis", "spf", "forwarding_analysis"}
+	if len(stages) != len(wantStages) {
+		t.Errorf("histogram covers %d stages, want %d", len(stages), len(wantStages))
+	}
+	for _, stage := range wantStages {
+		a := stages[stage]
+		if a == nil {
+			t.Errorf("no histogram series for stage %q", stage)
+			continue
+		}
+		if !a.infSeen {
+			t.Errorf("stage %q has no +Inf bucket", stage)
+			continue
+		}
+		sort.Float64s(a.les)
+		prev := 0.0
+		for _, le := range a.les {
+			if a.counts[le] < prev {
+				t.Errorf("stage %q: bucket le=%g count %g < previous %g (not cumulative)",
+					stage, le, a.counts[le], prev)
+			}
+			prev = a.counts[le]
+		}
+		if a.inf < prev {
+			t.Errorf("stage %q: +Inf bucket %g < largest finite bucket %g", stage, a.inf, prev)
+		}
+		if a.count != a.inf {
+			t.Errorf("stage %q: _count %g != +Inf bucket %g", stage, a.count, a.inf)
+		}
+		// One completed job was observed per stage.
+		if a.count != 1 {
+			t.Errorf("stage %q: _count = %g, want 1", stage, a.count)
+		}
+		if a.sum < 0 {
+			t.Errorf("stage %q: negative _sum %g", stage, a.sum)
+		}
+	}
+}
+
+// TestHealthzBuildInfo checks GET /healthz reports liveness plus the
+// binary's build identity.
+func TestHealthzBuildInfo(t *testing.T) {
+	s := New(Config{Workers: 1})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+	var st healthStatus
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	if st.Status != "ok" {
+		t.Errorf("status = %q, want ok", st.Status)
+	}
+	if st.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", st.GoVersion, runtime.Version())
+	}
+}
+
+// TestJobTraceEndpoint checks GET /v1/jobs/{id}/trace serves the run
+// trace when tracing is on, and 404s for unknown jobs and untraced runs.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, Trace: true})
+	code, st := postVerify(t, ts, VerifyRequest{
+		Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true,
+	})
+	if code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("verify: status %d state %s (err %q)", code, st.State, st.Error)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/trace", ts.URL, st.ID))
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	var trace telemetry.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if trace.Schema != telemetry.SchemaVersion {
+		t.Errorf("trace schema = %q, want %q", trace.Schema, telemetry.SchemaVersion)
+	}
+	if len(trace.EPVPRounds) == 0 {
+		t.Error("trace has no EPVP rounds")
+	}
+	if len(trace.Spans) == 0 {
+		t.Error("trace has no spans")
+	}
+	if trace.Digest != st.Digest {
+		t.Errorf("trace digest = %q, want job digest %q", trace.Digest, st.Digest)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/j-999999/trace"); err != nil {
+		t.Fatalf("GET unknown trace: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job trace status = %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// A cache-hit job never ran the engine, so it has no trace.
+	code, hit := postVerify(t, ts, VerifyRequest{
+		Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true,
+	})
+	if code != http.StatusOK || !hit.CacheHit {
+		t.Fatalf("second submit: status %d, cache hit %v", code, hit.CacheHit)
+	}
+	if resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/trace", ts.URL, hit.ID)); err != nil {
+		t.Fatalf("GET cache-hit trace: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("cache-hit trace status = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceDisabledByDefault checks jobs record no trace unless
+// Config.Trace is set.
+func TestTraceDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, st := postVerify(t, ts, VerifyRequest{
+		Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true,
+	})
+	if code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("verify: status %d state %s", code, st.State)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/trace", ts.URL, st.ID))
+	if err != nil {
+		t.Fatalf("GET trace: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("untraced job trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDebugHandler checks the debug mux serves the pprof index and the
+// runtime-stats snapshot.
+func TestDebugHandler(t *testing.T) {
+	h := DebugHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%.200s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug stats status = %d", rec.Code)
+	}
+	var st debugStats
+	if err := json.NewDecoder(rec.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.Goroutines <= 0 || st.NumCPU <= 0 || st.HeapAlloc == 0 {
+		t.Errorf("implausible runtime stats: %+v", st)
+	}
+}

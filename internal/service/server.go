@@ -5,16 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
-	"os"
 	"runtime"
-	"strconv"
+	rtdebug "runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/expresso-verify/expresso"
 	"github.com/expresso-verify/expresso/internal/route"
+	"github.com/expresso-verify/expresso/internal/telemetry"
 )
 
 // Config tunes the verification server. The zero value is usable: every
@@ -45,6 +46,13 @@ type Config struct {
 	// MaxJobs bounds the in-memory job registry; the oldest finished
 	// jobs are evicted beyond it (default: 1024).
 	MaxJobs int
+	// Logger receives structured request/job lifecycle records
+	// (default: slog.Default()).
+	Logger *slog.Logger
+	// Trace, when true, records a run trace for every job and serves it
+	// on GET /v1/jobs/{id}/trace. Off by default: tracing snapshots BDD
+	// and EPVP counters every round, which costs a few percent.
+	Trace bool
 }
 
 func (c *Config) applyDefaults() {
@@ -56,10 +64,8 @@ func (c *Config) applyDefaults() {
 		// cores); EXPRESSO_WORKERS overrides so CI can force the parallel
 		// engine under the race detector through the service path too.
 		c.EngineWorkers = 1
-		if env := os.Getenv("EXPRESSO_WORKERS"); env != "" {
-			if n, err := strconv.Atoi(env); err == nil && n > 0 {
-				c.EngineWorkers = n
-			}
+		if n := telemetry.WorkersFromEnv(); n > 0 {
+			c.EngineWorkers = n
 		}
 	}
 	if c.QueueDepth <= 0 {
@@ -77,6 +83,9 @@ func (c *Config) applyDefaults() {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 }
 
 // ErrQueueFull is returned by Submit when the FIFO queue is at capacity.
@@ -91,6 +100,7 @@ var ErrDraining = errors.New("service: server is draining")
 // submissions reuse earlier work.
 type Server struct {
 	cfg      Config
+	log      *slog.Logger
 	Metrics  *Metrics
 	verifier *expresso.Verifier
 
@@ -126,6 +136,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:        cfg,
+		log:        cfg.Logger,
 		Metrics:    &Metrics{},
 		verifier:   expresso.NewVerifier(vcfg),
 		baseCtx:    ctx,
@@ -158,6 +169,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		s.log.Info("service draining", "queued", len(s.queue))
 	}
 	s.mu.Unlock()
 
@@ -207,6 +219,7 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 		}}
 		job.finish(JobDone, rep, "", now)
 		s.register(job)
+		s.log.Info("job served from cache", "job", job.ID, "digest", digest)
 		return job, true, nil
 	}
 	s.Metrics.CacheMisses.Add(1)
@@ -215,6 +228,7 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 	if s.draining {
 		s.mu.Unlock()
 		s.Metrics.JobsRejected.Add(1)
+		s.log.Warn("job rejected", "digest", digest, "reason", "draining")
 		return nil, false, ErrDraining
 	}
 	select {
@@ -223,10 +237,12 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 	default:
 		s.mu.Unlock()
 		s.Metrics.JobsRejected.Add(1)
+		s.log.Warn("job rejected", "digest", digest, "reason", "queue full")
 		return nil, false, ErrQueueFull
 	}
 	s.Metrics.JobsAccepted.Add(1)
 	s.register(job)
+	s.log.Info("job queued", "job", job.ID, "digest", digest, "timeout", job.timeout)
 	return job, false, nil
 }
 
@@ -277,10 +293,13 @@ func (s *Server) QueueDepth() int {
 func (s *Server) runJob(job *Job) {
 	if job.ctx.Err() != nil { // cancelled while queued
 		s.Metrics.JobsCancelled.Add(1)
+		s.log.Info("job cancelled while queued", "job", job.ID)
 		job.finish(JobCancelled, nil, job.ctx.Err().Error(), time.Now())
 		return
 	}
-	job.setRunning(time.Now())
+	start := time.Now()
+	job.setRunning(start)
+	s.log.Info("job started", "job", job.ID, "digest", job.Digest)
 	ctx := job.ctx
 	if job.timeout > 0 {
 		var cancel context.CancelFunc
@@ -291,6 +310,9 @@ func (s *Server) runJob(job *Job) {
 	opts := job.opts
 	if opts.Workers == 0 {
 		opts.Workers = s.cfg.EngineWorkers
+	}
+	if s.cfg.Trace {
+		opts.Trace = expresso.NewTracer()
 	}
 	rep, info, err := s.runVerify(ctx, job.configText, opts)
 	now := time.Now()
@@ -303,15 +325,24 @@ func (s *Server) runJob(job *Job) {
 		if info != nil {
 			job.setStages(info.Stages)
 		}
+		if opts.Trace != nil {
+			job.setTrace(opts.Trace.Finish())
+		}
 		s.Metrics.JobsCompleted.Add(1)
 		s.Metrics.ObserveTiming(rep.Timing)
 		job.finish(JobDone, rep, "", now)
+		s.log.Info("job done", "job", job.ID, "state", JobDone,
+			"duration", now.Sub(start), "iterations", rep.Iterations)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.Metrics.JobsCancelled.Add(1)
 		job.finish(JobCancelled, nil, err.Error(), now)
+		s.log.Info("job cancelled", "job", job.ID, "state", JobCancelled,
+			"duration", now.Sub(start), "error", err.Error())
 	default:
 		s.Metrics.JobsFailed.Add(1)
 		job.finish(JobFailed, nil, err.Error(), now)
+		s.log.Warn("job failed", "job", job.ID, "state", JobFailed,
+			"duration", now.Sub(start), "error", err.Error())
 	}
 }
 
@@ -362,15 +393,17 @@ func (r *VerifyRequest) Options() (expresso.Options, error) {
 
 // Handler returns the HTTP API:
 //
-//	POST   /v1/verify    submit a verification (cache-aware)
-//	GET    /v1/jobs/{id} job status and report
-//	DELETE /v1/jobs/{id} cancel a job
-//	GET    /healthz      liveness (503 while draining)
-//	GET    /metrics      Prometheus-style counters
+//	POST   /v1/verify          submit a verification (cache-aware)
+//	GET    /v1/jobs/{id}       job status and report
+//	GET    /v1/jobs/{id}/trace run trace (requires Config.Trace)
+//	DELETE /v1/jobs/{id}       cancel a job
+//	GET    /healthz            liveness + build info (503 while draining)
+//	GET    /metrics            Prometheus-style counters and histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -442,6 +475,20 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown job"})
+		return
+	}
+	tr := job.Trace()
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no trace for job (server started without tracing, job not finished, or served from cache)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -452,15 +499,41 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// healthStatus is the GET /healthz body: liveness plus the build identity
+// of the running binary, read once from the embedded module metadata.
+type healthStatus struct {
+	Status    string `json:"status"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	GoVersion string `json:"go_version"`
+}
+
+var buildInfo = sync.OnceValue(func() healthStatus {
+	st := healthStatus{Status: "ok", GoVersion: runtime.Version()}
+	bi, ok := rtdebug.ReadBuildInfo()
+	if !ok {
+		return st
+	}
+	st.Version = bi.Main.Version
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			st.Revision = kv.Value
+		}
+	}
+	return st
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	st := buildInfo()
 	if draining {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		st.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, st)
 		return
 	}
-	w.Write([]byte("ok\n"))
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

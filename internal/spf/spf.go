@@ -13,11 +13,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/expresso-verify/expresso/internal/bdd"
 	"github.com/expresso-verify/expresso/internal/epvp"
 	"github.com/expresso-verify/expresso/internal/route"
 	"github.com/expresso-verify/expresso/internal/symbolic"
+	"github.com/expresso-verify/expresso/internal/telemetry"
 )
 
 // FinalState is the terminal state of a symbolic packet (§5.2).
@@ -96,6 +98,7 @@ type Result struct {
 
 	eng     *epvp.Engine
 	ctx     context.Context
+	trace   *telemetry.Tracer
 	varBase int
 
 	varsMu   sync.Mutex
@@ -127,11 +130,21 @@ func Run(eng *epvp.Engine, cp *epvp.Result) *Result {
 // context aborts the stage promptly. On cancellation it returns a nil
 // Result and ctx.Err().
 func RunContext(ctx context.Context, eng *epvp.Engine, cp *epvp.Result) (*Result, error) {
+	return RunTraced(ctx, eng, cp, nil)
+}
+
+// RunTraced is RunContext with a run-scoped tracer attached: it records
+// one telemetry.FIBEvent per router's FIB compilation, one ForwardEvent
+// per injection point's traversal, and the PEC-coalescing pass sizes. A
+// nil tracer is the zero-overhead disabled path (RunContext delegates
+// here with nil).
+func RunTraced(ctx context.Context, eng *epvp.Engine, cp *epvp.Result, tr *telemetry.Tracer) (*Result, error) {
 	r := &Result{
 		FIBs:                map[string]*FIB{},
 		DataVarsPerNeighbor: map[string]int{},
 		eng:                 eng,
 		ctx:                 ctx,
+		trace:               tr,
 		varsUsed:            map[int]bool{},
 		convCache:           map[bdd.Node][]convEntry{},
 	}
@@ -150,7 +163,19 @@ func RunContext(ctx context.Context, eng *epvp.Engine, cp *epvp.Result) (*Result
 	internals := eng.Net.Internals
 	fibs := make([]*FIB, len(internals))
 	err := r.each(workers, len(internals), func(sp *symbolic.Space, i int) {
+		start := time.Time{}
+		if r.trace.Enabled() {
+			start = time.Now()
+		}
 		fibs[i] = r.buildFIB(sp, internals[i], cp.Best[internals[i]])
+		if r.trace.Enabled() {
+			r.trace.FIB(telemetry.FIBEvent{
+				Router:   internals[i],
+				Entries:  fibs[i].Entries,
+				Ports:    len(fibs[i].PortPred),
+				Duration: time.Since(start).Nanoseconds(),
+			})
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -385,9 +410,20 @@ func (r *Result) forwardAll(workers int) error {
 	internals := r.eng.Net.Internals
 	perStart := make([][]*PEC, len(internals))
 	err := r.each(workers, len(internals), func(sp *symbolic.Space, i int) {
+		start := time.Time{}
+		if r.trace.Enabled() {
+			start = time.Now()
+		}
 		var out []*PEC
 		r.forward(sp, internals[i], bdd.True, []string{internals[i]}, &out)
 		perStart[i] = out
+		if r.trace.Enabled() {
+			r.trace.Forward(telemetry.ForwardEvent{
+				Router:   internals[i],
+				PECs:     len(out),
+				Duration: time.Since(start).Nanoseconds(),
+			})
+		}
 	})
 	if err != nil {
 		return err
@@ -395,7 +431,11 @@ func (r *Result) forwardAll(workers int) error {
 	for _, out := range perStart {
 		r.PECs = append(r.PECs, out...)
 	}
+	raw := len(r.PECs)
 	r.coalescePECs()
+	if r.trace.Enabled() {
+		r.trace.Coalesce(telemetry.CoalesceEvent{Phase: "internal", Raw: raw, Coalesced: len(r.PECs)})
+	}
 	byStart := map[string][]*PEC{}
 	for _, pec := range r.PECs {
 		byStart[pec.Start()] = append(byStart[pec.Start()], pec)
@@ -412,7 +452,11 @@ func (r *Result) forwardAll(workers int) error {
 		}
 	}
 	// Deterministic order, merge identical (path, final) classes.
+	raw = len(r.PECs)
 	r.coalescePECs()
+	if r.trace.Enabled() {
+		r.trace.Coalesce(telemetry.CoalesceEvent{Phase: "external", Raw: raw, Coalesced: len(r.PECs)})
+	}
 	return nil
 }
 

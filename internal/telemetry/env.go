@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"log/slog"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// warnedWorkers deduplicates the malformed-EXPRESSO_WORKERS warning: the
+// knob is read on every engine construction, and a bad value should not
+// spam one warning per verification.
+var warnedWorkers sync.Once
+
+// WorkersFromEnv parses the EXPRESSO_WORKERS environment variable — the
+// CI knob that forces the parallel engine paths (e.g. under the race
+// detector) — and returns the worker count it requests, or 0 when unset.
+// A malformed or non-positive value returns 0 after logging a warning
+// (once per process): the old per-callsite parsers silently fell back,
+// which made a typo'd knob indistinguishable from an absent one.
+//
+// This is the only parser of the variable; expresso.Options, the EPVP
+// engine, and the service all resolve their worker defaults through it.
+func WorkersFromEnv() int {
+	env := os.Getenv("EXPRESSO_WORKERS")
+	if env == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		warnedWorkers.Do(func() {
+			slog.Warn("ignoring malformed EXPRESSO_WORKERS (want a positive integer)", "value", env)
+		})
+		return 0
+	}
+	return n
+}

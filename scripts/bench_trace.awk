@@ -1,0 +1,33 @@
+# Turns `go test -bench` output for the untraced/traced region-1 pair into
+# BENCH_pr4.json (see `make bench-trace`).
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && NF >= 7 {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+	ns[name] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	base = "BenchmarkVerifyRegion1"
+	traced = "BenchmarkVerifyRegion1Traced"
+	printf "{\n"
+	printf "  \"pr\": 4,\n"
+	printf "  \"benchmark\": \"tracing on vs off, end-to-end verification (CSP region1, leak-only)\",\n"
+	printf "  \"command\": \"make bench-trace\",\n"
+	printf "  \"environment\": { \"cpu\": \"%s\" },\n", cpu
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }%s\n", \
+			name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+	}
+	printf "  ]"
+	if ((base in ns) && (traced in ns) && ns[base] > 0) {
+		printf ",\n  \"trace_overhead_percent\": %.2f\n", 100 * (ns[traced] - ns[base]) / ns[base]
+	} else {
+		printf "\n"
+	}
+	printf "}\n"
+}

@@ -117,7 +117,12 @@ func (v *Verifier) VerifyText(ctx context.Context, configText string, opts Optio
 			Stage: pipeline.StageReport, Status: StageHit,
 			Key: info.Digest, Duration: time.Since(start),
 		})
-		return cached.(*Report), info, nil
+		rep := cached.(*Report)
+		if opts.Trace != nil {
+			opts.Trace.SetMeta(info.Digest, opts.Mode.Key(), opts.CacheKey(), rep.Timing.Workers)
+			traceStages(opts.Trace, info.Stages)
+		}
+		return rep, info, nil
 	}
 
 	load, loadInfo, err := v.load(configText)
@@ -143,6 +148,10 @@ func (v *Verifier) VerifyText(ctx context.Context, configText string, opts Optio
 	info.Stages = append(info.Stages, StageInfo{
 		Stage: pipeline.StageReport, Status: StageMiss, Key: info.Digest,
 	})
+	if opts.Trace != nil {
+		opts.Trace.SetMeta(info.Digest, opts.Mode.Key(), opts.CacheKey(), out.SRC.Workers)
+		traceStages(opts.Trace, info.Stages)
+	}
 	return rep, info, nil
 }
 

@@ -10,9 +10,9 @@ GO ?= go
 # engine under the race detector.
 RACE_WORKERS ?= 4
 
-.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace
+.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd alloc-guard
 
-ci: vet staticcheck build race race-parallel
+ci: vet staticcheck build race race-parallel alloc-guard
 
 vet:
 	$(GO) vet ./...
@@ -81,3 +81,23 @@ bench-trace:
 	awk -f scripts/bench_trace.awk /tmp/bench_trace.out > BENCH_pr4.json
 	@cat BENCH_pr4.json
 	EXPRESSO_TRACE_OVERHEAD=1 $(GO) test . -run TestTraceOverhead -count=1 -v -timeout 30m
+
+# BDD microbenchmarks of the PR-5 hot-path overhaul: specialized apply
+# kernels vs the generic ITE entry point, complement-edge negation chains,
+# and the dead-node sweep pause — plus the region-1 end-to-end run they
+# add up to. Records everything into BENCH_pr5.json against the PR-4
+# region-1 baseline baked into scripts/bench_bdd.awk.
+bench-bdd:
+	$(GO) test ./internal/bdd/ -run XXX \
+		-bench 'BenchmarkApplyKernels$$|BenchmarkApplyViaITE$$|BenchmarkNegationChain$$|BenchmarkITEChain$$|BenchmarkReclaim$$' \
+		-benchmem -benchtime=2000x | tee /tmp/bench_bdd.out
+	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1$$' \
+		-benchmem -benchtime=5x | tee -a /tmp/bench_bdd.out
+	awk -f scripts/bench_bdd.awk /tmp/bench_bdd.out > BENCH_pr5.json
+	@cat BENCH_pr5.json
+
+# Allocation-regression guard: one cold region-1 verification must stay
+# under the byte ceiling in alloc_guard_test.go. The test skips itself
+# without the env knob, so plain `go test ./...` stays fast.
+alloc-guard:
+	EXPRESSO_ALLOC_GUARD=1 $(GO) test . -run TestRegion1AllocGuard -count=1 -v -timeout 15m

@@ -82,6 +82,60 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminismWithReclaim re-runs the determinism matrix with
+// a tiny EXPRESSO_RECLAIM budget, forcing a dead-node sweep at every EPVP
+// round boundary and before SPF. Reclamation recycles handle numbers and
+// compacts the unique table mid-run; reports must still be byte-identical
+// to a no-reclamation sequential run at every worker count, because the
+// sweep trigger is a function of the schedule-independent canonical node
+// set and everything report-visible is ordered by structural keys.
+func TestParallelDeterminismWithReclaim(t *testing.T) {
+	fixtures := []struct {
+		name string
+		cfg  string
+		opts Options
+	}{
+		{"figure4", testnet.Figure4, Options{}},
+		{"case1-blackhole", testnet.Case1Blackhole,
+			Options{Properties: []Kind{RouteLeakFree, BlackHoleFree, LoopFree}}},
+		{"region1-small", netgen.CSP(netgen.CSPOldRegion(1).WithPeers(3)),
+			Options{Properties: []Kind{RouteLeakFree, RouteHijackFree, TrafficHijackFree}}},
+	}
+	for _, f := range fixtures {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			net, err := Load(f.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Baseline: sequential, reclamation disabled.
+			t.Setenv("EXPRESSO_RECLAIM", "off")
+			seq := f.opts
+			seq.Workers = 1
+			repOff, err := net.Verify(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := reportJSON(t, repOff)
+
+			// Sweep-heavy runs at both worker counts must match it.
+			t.Setenv("EXPRESSO_RECLAIM", "200")
+			for _, workers := range []int{1, 4} {
+				opts := f.opts
+				opts.Workers = workers
+				rep, err := net.Verify(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := reportJSON(t, rep); string(got) != string(want) {
+					t.Fatalf("workers=%d with forced sweeps differs from no-reclaim baseline:\n--- off ---\n%s\n--- sweeps ---\n%s",
+						workers, want, got)
+				}
+			}
+		})
+	}
+}
+
 // TestWorkersDefault checks the Workers plumbing: 0 resolves to GOMAXPROCS
 // and the resolved count is surfaced in Report.Timing.
 func TestWorkersDefault(t *testing.T) {

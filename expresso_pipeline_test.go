@@ -3,6 +3,7 @@ package expresso
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -179,6 +180,47 @@ func TestVerifierWarmStartByteIdentical(t *testing.T) {
 			}
 			if got, want := normalizedJSON(t, warmRep), normalizedJSON(t, coldRep); got != want {
 				t.Errorf("warm report differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestVerifierWarmStartWithReclaimSweeps is the warm-chain safety check
+// of dead-node reclamation: with a tiny EXPRESSO_RECLAIM budget, the warm
+// run sweeps the shared manager between rounds while the prior artifact's
+// fixed point, the compiled transfers, and the edge memo are live only
+// through the pinning API. The warm report must stay byte-identical to a
+// cold run of the new configuration at both worker counts.
+func TestVerifierWarmStartWithReclaimSweeps(t *testing.T) {
+	t.Setenv("EXPRESSO_RECLAIM", "200")
+	regionBase, regionChanged := regionDelta()
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			opts := Options{Workers: workers,
+				Properties: []Kind{RouteLeakFree, RouteHijackFree, TrafficHijackFree}}
+			ctx := context.Background()
+			v := NewVerifier(VerifierConfig{})
+			if _, _, err := v.VerifyText(ctx, regionBase, opts); err != nil {
+				t.Fatal(err)
+			}
+			warmRep, warmInfo, err := v.VerifyText(ctx, regionChanged, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s := stageStatus(warmInfo, "src"); s != StageWarm {
+				t.Fatalf("delta SRC status = %q, want %q (stages: %+v)", s, StageWarm, warmInfo.Stages)
+			}
+			coldNet, err := Load(regionChanged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldRep, err := coldNet.Verify(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := normalizedJSON(t, warmRep), normalizedJSON(t, coldRep); got != want {
+				t.Errorf("warm report under forced sweeps differs from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", want, got)
 			}
 		})
 	}

@@ -2,36 +2,66 @@
 //
 // The package replaces the JDD Java library used by the Expresso paper. It
 // provides a Manager that hash-conses nodes into a shared table, exposes the
-// usual boolean connectives through a memoized ITE core, and supports the
+// usual boolean connectives through memoized apply kernels, and supports the
 // quantification and inspection operations the verifier needs (Restrict,
 // Exists, Support, SatCount, AnySat).
 //
-// Nodes are identified by int32 handles. Handles 0 and 1 are the constants
-// False and True. Negation is a regular operation (not complement edges),
-// which keeps the implementation simple and the node table canonical.
+// # Complement edges
+//
+// Nodes are identified by int32 handles. A handle packs a slab index and a
+// complement bit: handle = index<<1 | c. When c is set the handle denotes
+// the NEGATION of the stored node, so Not is an O(1) bit flip that creates
+// no nodes and touches no cache. One stored constant (slab slot 0) yields
+// both False (handle 0) and True (handle 1 = ¬False). Canonical form: the
+// high (then) edge of a stored node is never complemented; mk normalizes
+// by complementing both children and returning a complemented handle. This
+// halves the node population for negation-heavy predicates — a function
+// and its negation share one slab slot.
+//
+// # Apply kernels
+//
+// Binary conjunction is a specialized two-operand kernel (And) with its own
+// operation cache and commutative key normalization; Or, Diff and Imp are
+// De Morgan rewrites of the same kernel, so all four share cache entries.
+// Xor/Biimp use a second kernel. The generic three-operand ITE remains for
+// the few genuinely ternary call sites.
 //
 // # Concurrency model
 //
 // The node universe is shared and safe for concurrent use: the node slab is
 // a chunked array with atomic append (handles are stable; slots are never
-// moved or rewritten), and the unique table is lock-striped, so any number
-// of goroutines may hash-cons nodes at once. Because hash-consing is
-// canonical, a boolean function has exactly one handle within a Manager no
-// matter which goroutine builds it first.
+// moved or rewritten while reachable), and the unique table is lock-striped,
+// so any number of goroutines may hash-cons nodes at once. Because
+// hash-consing is canonical, a boolean function has exactly one handle
+// within a Manager no matter which goroutine builds it first.
 //
-// Memoized operations (ITE and everything built on it) go through a Worker,
-// which owns a private operation cache: workers never contend on the memo
-// (Sylvan-style per-worker caches). A Worker must be used by one goroutine
-// at a time; create one per goroutine with NewWorker. The Manager embeds a
-// default Worker so existing single-threaded callers can keep invoking the
-// same methods on the Manager itself — those delegating methods are NOT
-// safe for concurrent use, exactly like the old single-threaded Manager.
+// Memoized operations go through a Worker, which owns private operation
+// caches: workers never contend on the memo (Sylvan-style per-worker
+// caches). A Worker must be used by one goroutine at a time; create one per
+// goroutine with NewWorker. The Manager embeds a default Worker so existing
+// single-threaded callers can keep invoking the same methods on the Manager
+// itself — those delegating methods are NOT safe for concurrent use,
+// exactly like the old single-threaded Manager.
 //
 // Operations that only read the slab (Support, SatCount, AnySat, AllSat,
 // Eval) or only hash-cons without a shared memo (Var, Cube, Restrict,
 // RestrictMany, RenameMonotone) are safe to call from any goroutine
 // directly on the Manager. AddVars is the one structural mutation and must
 // not run concurrently with any operation.
+//
+// # Reclamation
+//
+// Dead nodes are reclaimed by Reclaim, a stop-the-world mark-and-sweep over
+// the slab: nodes reachable from the given roots and from the Pin set stay
+// valid (handles are never renumbered), every other slot goes on a free
+// list for reuse, the unique-table stripes are compacted to their live
+// population, and the fingerprint memo drops dead entries. Reclaim requires
+// external quiescence — no Manager operation may run concurrently — and
+// goroutines resuming afterwards must be ordered after the reclaim point by
+// the caller (a channel barrier, as in epvp's round loop). Worker caches
+// are invalidated lazily via a generation counter: the first operation on a
+// Worker after a reclaim drops its memos, since cached results may mention
+// freed handles.
 package bdd
 
 import (
@@ -40,36 +70,41 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Node is a handle to a BDD node owned by a Manager. The zero value is the
-// constant False.
+// Node is a handle to a BDD node owned by a Manager: slab index shifted
+// left one bit, with the low bit as the complement flag. The zero value is
+// the constant False.
 type Node int32
 
-// Constant node handles.
+// Constant node handles. Both are views of slab slot 0: True is the
+// complemented edge to the same stored constant.
 const (
 	False Node = 0
 	True  Node = 1
 )
 
 // node is the internal representation: a decision on variable level with
-// low (variable=0) and high (variable=1) branches.
+// low (variable=0) and high (variable=1) branches. The high edge is never
+// complemented (canonical form); the low edge may be.
 type node struct {
-	level     int32 // variable index; constants use level = maxLevel
+	level     int32 // variable index; the constant uses level = maxLevel
 	low, high Node
 }
 
 const maxLevel = math.MaxInt32
 
 // Slab geometry: nodes live in fixed-size chunks reachable through an
-// atomic pointer directory, so a handle's storage never moves and readers
-// need no lock. 2^15 chunks of 2^16 nodes cover the full int32 handle
-// space.
+// atomic pointer directory, so a slot's storage never moves and readers
+// need no lock. 2^14 chunks of 2^16 nodes cover the 2^30 slab indices the
+// handle encoding leaves room for.
 const (
 	chunkBits = 16
 	chunkSize = 1 << chunkBits
 	chunkMask = chunkSize - 1
-	maxChunks = 1 << 15
+	maxChunks = 1 << 14
+	maxNodes  = int64(maxChunks) * chunkSize
 )
 
 type nodeChunk [chunkSize]node
@@ -86,7 +121,7 @@ const (
 type uniqueStripe struct {
 	mu   sync.Mutex
 	t    hashTable
-	hits int64 // mk lookups that reused a canonical node (guarded by mu)
+	hits int64    // mk lookups that reused a canonical node (guarded by mu)
 	_    [32]byte // keep neighboring stripes off one cache line
 }
 
@@ -96,16 +131,35 @@ type uniqueStripe struct {
 // concurrent use; memoized connectives are safe when each goroutine uses
 // its own Worker (see the package comment).
 type Manager struct {
-	chunks []atomic.Pointer[nodeChunk]
-	nNodes atomic.Int64
-	slabMu sync.Mutex // guards chunk allocation only
+	chunks  []atomic.Pointer[nodeChunk]
+	next    atomic.Int64 // high-water slab index (slots ever allocated)
+	live    atomic.Int64 // slots in use (next minus free-list population)
+	created atomic.Int64 // cumulative hash-cons misses; monotone across reclaims
+	slabMu  sync.Mutex   // guards chunk allocation only
+
+	// Free slots from past reclaims, reused by newNode before the slab
+	// grows. nFree mirrors len(free) so the empty case stays lock-free.
+	free   []int32
+	nFree  atomic.Int64
+	freeMu sync.Mutex
 
 	unique [numStripes]uniqueStripe
 
+	// Reclamation state: gen bumps on every Reclaim so workers can drop
+	// stale memos lazily; pinned maps regular handles to refcounts.
+	gen    atomic.Uint64
+	pinned map[Node]int64
+	pinMu  sync.Mutex
+
+	// Cumulative reclamation counters (telemetry).
+	rcRuns  atomic.Int64
+	rcFreed atomic.Int64
+	rcPause atomic.Int64 // nanoseconds across all runs
+
 	numVars int
 
-	// fps memoizes structural fingerprints (see Fingerprint); a node's
-	// fingerprint never changes, so the map only grows.
+	// fps memoizes structural fingerprints (see Fingerprint), keyed by
+	// regular (uncomplemented) handles. Reclaim drops dead entries.
 	fps sync.Map // Node -> [2]uint64
 
 	// def is the default worker backing the Manager's own connective
@@ -115,8 +169,8 @@ type Manager struct {
 
 // hashTable is an open-addressing hash table from three-int32 keys to Node,
 // used for the per-stripe unique tables ((level, low, high) -> node) and
-// the per-worker ITE memos ((f, g, h) -> result). Go's built-in maps
-// dominated the profile; this table avoids their per-access overhead.
+// the per-worker operation memos. Go's built-in maps dominated the profile;
+// this table avoids their per-access overhead.
 type hashTable struct {
 	keys []tableKey
 	vals []Node
@@ -202,6 +256,108 @@ func (t *hashTable) grow() {
 	}
 }
 
+// opCache is a direct-mapped, lossy operation cache: a put may overwrite
+// an unrelated entry, and a get may miss on something once cached. That is
+// safe — apply results are recomputed into the same canonical nodes — and
+// it bounds the cache's memory, unlike an exact table whose rehash churn
+// used to dominate the allocation profile. The cache starts small and
+// quadruples (rehashing survivors in one pass, no collision chains to
+// maintain) until it reaches its slot budget, after which insertion is
+// pure overwrite.
+type opCache struct {
+	keys []tableKey
+	vals []Node
+	used int // occupied slots; an upper bound on live entries
+	mask uint32
+	max  int // slot budget
+}
+
+const (
+	opCacheInitSlots = 1 << 12
+	opCacheMaxSlots  = 1 << 21 // 32 MiB of entries per cache
+)
+
+func newOpCache() opCache {
+	c := opCache{
+		keys: make([]tableKey, opCacheInitSlots),
+		vals: make([]Node, opCacheInitSlots),
+		mask: opCacheInitSlots - 1,
+		max:  opCacheMaxSlots,
+	}
+	for i := range c.vals {
+		c.vals[i] = emptySlot
+	}
+	return c
+}
+
+func (c *opCache) get(a, b, op int32) (Node, bool) {
+	i := hash3(a, b, op) & c.mask
+	if c.vals[i] == emptySlot {
+		return 0, false
+	}
+	if k := c.keys[i]; k.a == a && k.b == b && k.c == op {
+		return c.vals[i], true
+	}
+	return 0, false
+}
+
+func (c *opCache) put(a, b, op int32, v Node) {
+	if c.used*4 >= len(c.keys)*3 && len(c.keys) < c.max {
+		c.grow()
+	}
+	i := hash3(a, b, op) & c.mask
+	if c.vals[i] == emptySlot {
+		c.used++
+	}
+	c.keys[i] = tableKey{a, b, op}
+	c.vals[i] = v
+}
+
+// grow quadruples the cache, re-placing surviving entries (direct-mapped:
+// collisions during the move simply evict).
+func (c *opCache) grow() {
+	old := *c
+	size := uint32(len(old.keys)) * 4
+	c.keys = make([]tableKey, size)
+	c.vals = make([]Node, size)
+	c.mask = size - 1
+	c.used = 0
+	for i := range c.vals {
+		c.vals[i] = emptySlot
+	}
+	for i, v := range old.vals {
+		if v == emptySlot {
+			continue
+		}
+		k := old.keys[i]
+		j := hash3(k.a, k.b, k.c) & c.mask
+		if c.vals[j] == emptySlot {
+			c.used++
+		}
+		c.keys[j] = k
+		c.vals[j] = v
+	}
+}
+
+// compact rebuilds the table keeping only entries whose value satisfies
+// keep, sized for the surviving population.
+func (t *hashTable) compact(keep func(Node) bool) {
+	kept := 0
+	for _, v := range t.vals {
+		if v != emptySlot && keep(v) {
+			kept++
+		}
+	}
+	nt := newHashTable(kept + kept/2 + 8)
+	for i, v := range t.vals {
+		if v != emptySlot && keep(v) {
+			k := t.keys[i]
+			nt.put(k.a, k.b, k.c, v)
+		}
+	}
+	*t = nt
+}
+
 // New creates a Manager with numVars boolean variables, indexed 0..numVars-1.
 // Variable 0 is the topmost in the ordering.
 func New(numVars int) *Manager {
@@ -211,14 +367,14 @@ func New(numVars int) *Manager {
 	m := &Manager{
 		chunks:  make([]atomic.Pointer[nodeChunk], maxChunks),
 		numVars: numVars,
+		pinned:  make(map[Node]int64),
 	}
 	for i := range m.unique {
 		m.unique[i].t = newHashTable(16)
 	}
-	m.def = Worker{m: m, ite: newHashTable(1024)}
-	// Slots 0 and 1 are the constants.
+	m.def = Worker{m: m, ite: newOpCache(), bin: newOpCache()}
+	// Slot 0 is the single stored constant: False regular, True complemented.
 	m.newNode(maxLevel, False, False)
-	m.newNode(maxLevel, True, True)
 	return m
 }
 
@@ -227,19 +383,20 @@ func New(numVars int) *Manager {
 // freely; concurrent phases must create one Worker per goroutine instead.
 func (m *Manager) DefaultWorker() *Worker { return &m.def }
 
-// NewWorker creates a Worker with a private operation cache. A Worker is
-// cheap (one small hash table); create one per goroutine for parallel
+// NewWorker creates a Worker with private operation caches. A Worker is
+// cheap (two small hash tables); create one per goroutine for parallel
 // phases.
 func (m *Manager) NewWorker() *Worker {
-	return &Worker{m: m, ite: newHashTable(1024)}
+	return &Worker{m: m, ite: newOpCache(), bin: newOpCache(), gen: m.gen.Load()}
 }
 
 // NumVars returns the number of variables the manager was created with.
 func (m *Manager) NumVars() int { return m.numVars }
 
-// NumNodes returns the total number of hash-consed nodes (including the two
-// constants). It is a proxy for memory use.
-func (m *Manager) NumNodes() int { return int(m.nNodes.Load()) }
+// NumNodes returns the number of live hash-consed slab slots (including the
+// shared constant). It is a proxy for memory use and shrinks when Reclaim
+// frees dead nodes.
+func (m *Manager) NumNodes() int { return int(m.live.Load()) }
 
 // AddVars grows the variable universe by n, returning the index of the first
 // new variable. Existing nodes are unaffected (new variables sort below all
@@ -251,25 +408,48 @@ func (m *Manager) AddVars(n int) int {
 	return first
 }
 
-// nodeAt returns the slab slot of n. Safe for concurrent readers: a handle
-// only becomes reachable after its slot is fully written, ordered by the
-// unique-table stripe lock (or whatever synchronization published the
-// handle to the reading goroutine).
+// slot returns the slab storage for index idx.
+func (m *Manager) slot(idx uint32) *node {
+	return &m.chunks[idx>>chunkBits].Load()[idx&chunkMask]
+}
+
+// nodeAt returns the slab slot of n (complement bit ignored). Safe for
+// concurrent readers: a handle only becomes reachable after its slot is
+// fully written, ordered by the unique-table stripe lock (or whatever
+// synchronization published the handle to the reading goroutine).
 func (m *Manager) nodeAt(n Node) *node {
-	return &m.chunks[uint32(n)>>chunkBits].Load()[uint32(n)&chunkMask]
+	return m.slot(uint32(n) >> 1)
 }
 
 func (m *Manager) level(n Node) int32 { return m.nodeAt(n).level }
-func (m *Manager) low(n Node) Node    { return m.nodeAt(n).low }
-func (m *Manager) high(n Node) Node   { return m.nodeAt(n).high }
 
-// newNode appends a node to the slab and returns its handle. Chunk
-// allocation is guarded by slabMu; slot writes race with nothing because
-// the atomic counter hands each caller a distinct slot.
+// low and high resolve a handle's children with the complement edge
+// applied: the children of ¬n are the negated children of n.
+func (m *Manager) low(n Node) Node  { return m.nodeAt(n).low ^ (n & 1) }
+func (m *Manager) high(n Node) Node { return m.nodeAt(n).high ^ (n & 1) }
+
+// newNode claims a slab slot (reusing the free list when possible), writes
+// the node, and returns its regular handle. Chunk allocation is guarded by
+// slabMu; slot writes race with nothing because each caller holds a
+// distinct slot and freed slots are unreachable until re-published.
 func (m *Manager) newNode(level int32, low, high Node) Node {
-	idx := m.nNodes.Add(1) - 1
-	if idx >= maxChunks*chunkSize {
-		panic("bdd: node table overflow (2^31 nodes)")
+	m.created.Add(1)
+	m.live.Add(1)
+	if m.nFree.Load() > 0 {
+		m.freeMu.Lock()
+		if n := len(m.free); n > 0 {
+			idx := uint32(m.free[n-1])
+			m.free = m.free[:n-1]
+			m.nFree.Store(int64(n - 1))
+			m.freeMu.Unlock()
+			*m.slot(idx) = node{level: level, low: low, high: high}
+			return Node(idx << 1)
+		}
+		m.freeMu.Unlock()
+	}
+	idx := m.next.Add(1) - 1
+	if idx >= maxNodes {
+		panic("bdd: node table overflow (2^30 nodes)")
 	}
 	ci := uint32(idx) >> chunkBits
 	ch := m.chunks[ci].Load()
@@ -282,28 +462,33 @@ func (m *Manager) newNode(level int32, low, high Node) Node {
 		m.slabMu.Unlock()
 	}
 	ch[uint32(idx)&chunkMask] = node{level: level, low: low, high: high}
-	return Node(idx)
+	return Node(idx << 1)
 }
 
-// mk returns the canonical node for (level, low, high), applying the
-// reduction rule low==high => low. Safe for concurrent use: the stripe lock
-// serializes lookup and insertion for any given key, so a function keeps a
-// single canonical handle no matter how many goroutines request it.
+// mk returns the canonical handle for (level, low, high), applying the
+// reduction rule low==high => low and the complement-edge normalization:
+// a node whose high edge is complemented is stored with both children
+// negated and returned as a complemented handle, so the stored form is
+// unique per function pair {f, ¬f}. Safe for concurrent use: the stripe
+// lock serializes lookup and insertion for any given key.
 func (m *Manager) mk(level int32, low, high Node) Node {
 	if low == high {
 		return low
 	}
+	c := high & 1
+	low ^= c
+	high ^= c
 	st := &m.unique[hash3(level, int32(low), int32(high))>>stripeShift]
 	st.mu.Lock()
-	if h, ok := st.t.get(level, int32(low), int32(high)); ok {
+	h, ok := st.t.get(level, int32(low), int32(high))
+	if ok {
 		st.hits++
-		st.mu.Unlock()
-		return h
+	} else {
+		h = m.newNode(level, low, high)
+		st.t.put(level, int32(low), int32(high), h)
 	}
-	h := m.newNode(level, low, high)
-	st.t.put(level, int32(low), int32(high), h)
 	st.mu.Unlock()
-	return h
+	return h ^ c
 }
 
 // Var returns the BDD for variable i (true iff variable i is 1).
@@ -322,40 +507,86 @@ func (m *Manager) NVar(i int) Node {
 	return m.mk(int32(i), True, False)
 }
 
-// Worker is a per-goroutine view of a Manager holding a private memo for
-// the ITE core and every connective built on it. Workers sharing a Manager
+// Worker is a per-goroutine view of a Manager holding private memos for
+// the apply kernels and the generic ITE core. Workers sharing a Manager
 // build into the same canonical node universe; only the caches are
 // private, so concurrent workers never contend on (or pollute) each
 // other's memos. A Worker must not be used by two goroutines at once.
 type Worker struct {
 	m   *Manager
-	ite hashTable
+	ite opCache // (f, g, h) -> ITE(f,g,h); all three operands non-constant
+	bin opCache // (a, b, op) -> binary kernel result
+	gen uint64    // manager reclaim generation the caches are valid for
 	// Cumulative memo counters (telemetry). A Worker is single-goroutine
 	// by contract, so plain fields suffice; they survive ClearCache.
-	memoHits, memoMisses int64
+	iteHits, iteMisses int64
+	binHits, binMisses int64
 }
+
+// Binary-kernel op tags (third key slot of the bin cache).
+const (
+	opAnd int32 = iota
+	opXor
+)
 
 // Manager returns the manager this worker builds into.
 func (w *Worker) Manager() *Manager { return w.m }
 
-// ClearCache drops the worker's memo table. Handles stay valid (the shared
-// unique table is untouched).
-func (w *Worker) ClearCache() { w.ite = newHashTable(1024) }
+// sync drops the worker's memos when the manager has reclaimed nodes since
+// they were filled: cached results may mention freed handles. Called on
+// every public entry point; a single atomic load in the common case.
+func (w *Worker) sync() {
+	if g := w.m.gen.Load(); g != w.gen {
+		w.gen = g
+		if w.ite.used > 0 {
+			w.ite = newOpCache()
+		}
+		if w.bin.used > 0 {
+			w.bin = newOpCache()
+		}
+	}
+}
 
-// CacheSize returns the number of memoized results held by this worker, a
-// proxy for the cache's memory footprint.
-func (w *Worker) CacheSize() int { return w.ite.used }
+// ClearCache drops the worker's memo tables. Handles stay valid (the shared
+// unique table is untouched). It deliberately does NOT reset the cumulative
+// hit/miss counters: telemetry computes per-round deltas from MemoStats,
+// and the engine clears caches mid-run, so resetting here would make the
+// deltas go negative. See MemoStats.
+func (w *Worker) ClearCache() {
+	w.ite = newOpCache()
+	w.bin = newOpCache()
+}
 
-// MemoStats returns the worker's cumulative ITE-memo hit and miss counts
-// (ClearCache does not reset them). Terminal-case ITE calls touch no memo
-// and count as neither. Must be read with the same single-goroutine
-// discipline as every other Worker method.
-func (w *Worker) MemoStats() (hits, misses int64) { return w.memoHits, w.memoMisses }
+// CacheSize returns the number of memoized results held by this worker
+// across all operation caches, a proxy for the caches' memory footprint.
+func (w *Worker) CacheSize() int { return w.ite.used + w.bin.used }
 
-// ITE computes if-then-else: f ? g : h. It is the core connective; all other
-// binary operations delegate to it.
+// MemoStats returns the worker's cumulative operation-memo hit and miss
+// counts, summed over the ITE cache and the binary-kernel cache. The
+// counters are monotone: neither ClearCache nor reclamation resets them,
+// so telemetry can difference successive reads safely. Terminal-case calls
+// touch no memo and count as neither. Must be read with the same
+// single-goroutine discipline as every other Worker method.
+func (w *Worker) MemoStats() (hits, misses int64) {
+	return w.iteHits + w.binHits, w.iteMisses + w.binMisses
+}
+
+// KernelStats splits MemoStats by cache: the generic ITE memo and the
+// shared binary-kernel (And/Or/Diff/Imp/Xor/Biimp) memo.
+func (w *Worker) KernelStats() (iteHits, iteMisses, binHits, binMisses int64) {
+	return w.iteHits, w.iteMisses, w.binHits, w.binMisses
+}
+
+// ITE computes if-then-else: f ? g : h. It is the generic ternary
+// connective; the common binary connectives use the specialized kernels
+// instead. Terminal cases return before any cache access.
 func (w *Worker) ITE(f, g, h Node) Node {
-	// Terminal cases.
+	w.sync()
+	return w.ite3(f, g, h)
+}
+
+func (w *Worker) ite3(f, g, h Node) Node {
+	// Terminal cases: no memo probe, no memo insertion.
 	switch {
 	case f == True:
 		return g
@@ -365,12 +596,54 @@ func (w *Worker) ITE(f, g, h Node) Node {
 		return g
 	case g == True && h == False:
 		return f
+	case g == False && h == True:
+		return f ^ 1 // ¬f is a bit flip under complement edges
+	}
+	// Operand coincidences shrink the call before it is cached.
+	if f == g {
+		g = True
+	} else if f == g^1 {
+		g = False
+	}
+	if f == h {
+		h = False
+	} else if f == h^1 {
+		h = True
+	}
+	switch {
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return f ^ 1
+	}
+	// A single constant operand reduces ITE to a binary connective; route
+	// it through the And kernel so it shares the bin cache.
+	switch {
+	case h == False: // f ∧ g
+		return w.and2(f, g)
+	case h == True: // f → g
+		return w.and2(f, g^1) ^ 1
+	case g == False: // ¬f ∧ h
+		return w.and2(f^1, h)
+	case g == True: // f ∨ h
+		return w.and2(f^1, h^1) ^ 1
+	}
+	// Canonicalize complement bits so equivalent calls share one cache
+	// entry: ITE(¬f,g,h)=ITE(f,h,g), and ITE(f,¬g,¬h)=¬ITE(f,g,h).
+	if f&1 != 0 {
+		f, g, h = f^1, h, g
+	}
+	var c Node
+	if g&1 != 0 {
+		g, h, c = g^1, h^1, 1
 	}
 	if r, ok := w.ite.get(int32(f), int32(g), int32(h)); ok {
-		w.memoHits++
-		return r
+		w.iteHits++
+		return r ^ c
 	}
-	w.memoMisses++
+	w.iteMisses++
 	m := w.m
 	top := m.level(f)
 	if l := m.level(g); l < top {
@@ -382,63 +655,153 @@ func (w *Worker) ITE(f, g, h Node) Node {
 	f0, f1 := m.cofactors(f, top)
 	g0, g1 := m.cofactors(g, top)
 	h0, h1 := m.cofactors(h, top)
-	r := m.mk(top, w.ITE(f0, g0, h0), w.ITE(f1, g1, h1))
+	r := m.mk(top, w.ite3(f0, g0, h0), w.ite3(f1, g1, h1))
 	w.ite.put(int32(f), int32(g), int32(h), r)
-	return r
+	return r ^ c
 }
 
+// cofactors returns the two children of n at the given level, resolving
+// the complement edge; nodes above the level cofactor to themselves.
 func (m *Manager) cofactors(n Node, level int32) (lo, hi Node) {
 	nd := m.nodeAt(n)
 	if nd.level == level {
-		return nd.low, nd.high
+		c := n & 1
+		return nd.low ^ c, nd.high ^ c
 	}
 	return n, n
 }
 
+// and2 is the specialized conjunction kernel: two operands, commutative
+// key normalization, and a dedicated cache shared (via De Morgan) with
+// Or, Diff and Imp.
+func (w *Worker) and2(a, b Node) Node {
+	// Terminal cases: no memo probe, no memo insertion.
+	switch {
+	case a == b:
+		return a
+	case a == b^1: // f ∧ ¬f
+		return False
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	}
+	if a > b { // commutative: one cache entry per unordered pair
+		a, b = b, a
+	}
+	if r, ok := w.bin.get(int32(a), int32(b), opAnd); ok {
+		w.binHits++
+		return r
+	}
+	w.binMisses++
+	m := w.m
+	top := m.level(a)
+	if l := m.level(b); l < top {
+		top = l
+	}
+	a0, a1 := m.cofactors(a, top)
+	b0, b1 := m.cofactors(b, top)
+	r := m.mk(top, w.and2(a0, b0), w.and2(a1, b1))
+	w.bin.put(int32(a), int32(b), opAnd, r)
+	return r
+}
+
+// xor2 is the symmetric-difference kernel. Complement bits factor out of
+// Xor entirely (Xor(¬a,b) = ¬Xor(a,b)), so keys are always regular.
+func (w *Worker) xor2(a, b Node) Node {
+	c := (a ^ b) & 1
+	a &^= 1
+	b &^= 1
+	switch {
+	case a == b:
+		return False ^ c
+	case a == False:
+		return b ^ c
+	case b == False:
+		return a ^ c
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if r, ok := w.bin.get(int32(a), int32(b), opXor); ok {
+		w.binHits++
+		return r ^ c
+	}
+	w.binMisses++
+	m := w.m
+	top := m.level(a)
+	if l := m.level(b); l < top {
+		top = l
+	}
+	a0, a1 := m.cofactors(a, top)
+	b0, b1 := m.cofactors(b, top)
+	r := m.mk(top, w.xor2(a0, b0), w.xor2(a1, b1))
+	w.bin.put(int32(a), int32(b), opXor, r)
+	return r ^ c
+}
+
 // And returns the conjunction of its arguments (True for no arguments).
 func (w *Worker) And(ns ...Node) Node {
+	w.sync()
 	r := True
 	for _, n := range ns {
 		if r == False {
 			return False
 		}
-		r = w.ITE(r, n, False)
+		r = w.and2(r, n)
 	}
 	return r
 }
 
 // Or returns the disjunction of its arguments (False for no arguments).
+// Disjunction is the De Morgan dual of the And kernel: ¬(¬a ∧ ¬b).
 func (w *Worker) Or(ns ...Node) Node {
+	w.sync()
 	r := False
 	for _, n := range ns {
 		if r == True {
 			return True
 		}
-		r = w.ITE(r, True, n)
+		r = w.and2(r^1, n^1) ^ 1
 	}
 	return r
 }
 
-// Not returns the negation of n.
-func (w *Worker) Not(n Node) Node { return w.ITE(n, False, True) }
+// Not returns the negation of n: an O(1) complement-bit flip.
+func (w *Worker) Not(n Node) Node { return n ^ 1 }
 
 // Xor returns the exclusive or of a and b.
-func (w *Worker) Xor(a, b Node) Node { return w.ITE(a, w.Not(b), b) }
+func (w *Worker) Xor(a, b Node) Node {
+	w.sync()
+	return w.xor2(a, b)
+}
 
-// Imp returns the implication a -> b.
-func (w *Worker) Imp(a, b Node) Node { return w.ITE(a, b, True) }
+// Imp returns the implication a -> b = ¬(a ∧ ¬b).
+func (w *Worker) Imp(a, b Node) Node {
+	w.sync()
+	return w.and2(a, b^1) ^ 1
+}
 
-// Biimp returns the biconditional a <-> b.
-func (w *Worker) Biimp(a, b Node) Node { return w.ITE(a, b, w.Not(b)) }
+// Biimp returns the biconditional a <-> b = ¬(a ⊕ b).
+func (w *Worker) Biimp(a, b Node) Node {
+	w.sync()
+	return w.xor2(a, b) ^ 1
+}
 
 // Diff returns a AND NOT b.
-func (w *Worker) Diff(a, b Node) Node { return w.ITE(b, False, a) }
+func (w *Worker) Diff(a, b Node) Node {
+	w.sync()
+	return w.and2(a, b^1)
+}
 
 // Exists existentially quantifies the given variables out of n.
 func (w *Worker) Exists(n Node, vars ...int) Node {
 	if len(vars) == 0 {
 		return n
 	}
+	w.sync()
 	m := w.m
 	set := make(map[int32]bool, len(vars))
 	maxVar := int32(-1)
@@ -460,7 +823,7 @@ func (w *Worker) Exists(n Node, vars ...int) Node {
 		lo, hi := rec(m.low(x)), rec(m.high(x))
 		var r Node
 		if set[m.level(x)] {
-			r = w.Or(lo, hi)
+			r = w.and2(lo^1, hi^1) ^ 1 // lo ∨ hi
 		} else {
 			r = m.mk(m.level(x), lo, hi)
 		}
@@ -472,13 +835,14 @@ func (w *Worker) Exists(n Node, vars ...int) Node {
 
 // Forall universally quantifies the given variables out of n.
 func (w *Worker) Forall(n Node, vars ...int) Node {
-	return w.Not(w.Exists(w.Not(n), vars...))
+	return w.Exists(n^1, vars...) ^ 1
 }
 
 // Rename replaces each variable old with mapping[old] in n. The mapping must
 // be injective; this implementation rebuilds the BDD from scratch so any
 // injective mapping is safe.
 func (w *Worker) Rename(n Node, mapping map[int]int) Node {
+	w.sync()
 	m := w.m
 	memo := make(map[Node]Node)
 	var rec func(Node) Node
@@ -494,7 +858,7 @@ func (w *Worker) Rename(n Node, mapping map[int]int) Node {
 			lvl = nv
 		}
 		v := m.Var(lvl)
-		r := w.ITE(v, rec(m.high(x)), rec(m.low(x)))
+		r := w.ite3(v, rec(m.high(x)), rec(m.low(x)))
 		memo[x] = r
 		return r
 	}
@@ -504,6 +868,7 @@ func (w *Worker) Rename(n Node, mapping map[int]int) Node {
 // UintLE returns the predicate "bits <= bound" over the given bit variables
 // (vars[0] most significant).
 func (w *Worker) UintLE(vars []int, bound uint64) Node {
+	w.sync()
 	m := w.m
 	// Build from least significant upward: standard comparator recursion.
 	// le(i) handles bits vars[i:].
@@ -517,10 +882,10 @@ func (w *Worker) UintLE(vars []int, bound uint64) Node {
 		v := m.Var(vars[i])
 		if bit {
 			// var=0 -> anything below; var=1 -> rest must satisfy.
-			return w.ITE(v, rest, True)
+			return w.and2(v, rest^1) ^ 1 // v -> rest
 		}
 		// bit=0: var must be 0 and rest satisfy.
-		return w.ITE(v, False, rest)
+		return w.and2(v^1, rest)
 	}
 	return build(0)
 }
@@ -530,7 +895,7 @@ func (w *Worker) UintGE(vars []int, bound uint64) Node {
 	if bound == 0 {
 		return True
 	}
-	return w.Not(w.UintLE(vars, bound-1))
+	return w.UintLE(vars, bound-1) ^ 1
 }
 
 // The Manager's connective methods delegate to the default worker,
@@ -547,7 +912,7 @@ func (m *Manager) And(ns ...Node) Node { return m.def.And(ns...) }
 func (m *Manager) Or(ns ...Node) Node { return m.def.Or(ns...) }
 
 // Not returns the negation of n.
-func (m *Manager) Not(n Node) Node { return m.def.Not(n) }
+func (m *Manager) Not(n Node) Node { return n ^ 1 }
 
 // Xor returns the exclusive or of a and b.
 func (m *Manager) Xor(a, b Node) Node { return m.def.Xor(a, b) }
@@ -684,7 +1049,8 @@ func (m *Manager) Support(n Node) []int {
 	vars := make(map[int]bool)
 	var rec func(Node)
 	rec = func(x Node) {
-		if x == True || x == False || seen[x] {
+		x &^= 1 // f and ¬f share support
+		if x == False || seen[x] {
 			return
 		}
 		seen[x] = true
@@ -847,7 +1213,7 @@ func (m *Manager) UintCube(vars []int, value uint64) Node {
 	return m.Cube(vars, values)
 }
 
-// ClearCaches drops the default worker's memo table (the unique table is
+// ClearCaches drops the default worker's memo tables (the unique table is
 // retained, so existing handles stay valid). Useful between large
 // independent phases. Per-goroutine Workers clear their own caches with
 // ClearCache.
@@ -856,15 +1222,17 @@ func (m *Manager) ClearCaches() {
 }
 
 // CacheSize returns the number of memoized results in the default worker's
-// cache, a proxy for its memory footprint.
+// caches, a proxy for their memory footprint.
 func (m *Manager) CacheSize() int { return m.def.CacheSize() }
 
 // UniqueStats returns the cumulative unique-table statistics: hits are mk
-// lookups answered by an existing canonical node, created is the number
-// of nodes hash-consed (the misses — nodes are never freed, so this is
-// also NumNodes). Safe for concurrent use; the hit count is a consistent
-// sum across stripes only when no mk races the read, which telemetry
-// callers satisfy by sampling at round boundaries.
+// lookups answered by an existing canonical node, created is the number of
+// nodes hash-consed over the manager's lifetime (the misses). created is
+// monotone — reclamation lowers NumNodes but never created — so telemetry
+// can difference successive reads for growth rates. Safe for concurrent
+// use; the hit count is a consistent sum across stripes only when no mk
+// races the read, which telemetry callers satisfy by sampling at round
+// boundaries.
 func (m *Manager) UniqueStats() (hits, created int64) {
 	for i := range m.unique {
 		st := &m.unique[i]
@@ -872,23 +1240,214 @@ func (m *Manager) UniqueStats() (hits, created int64) {
 		hits += st.hits
 		st.mu.Unlock()
 	}
-	return hits, m.nNodes.Load()
+	return hits, m.created.Load()
 }
 
+// Pin marks nodes as externally referenced: they (and everything reachable
+// from them) survive every Reclaim until a matching Unpin. Pins are
+// refcounted, so independent owners may pin the same node. Constants need
+// no pin. Safe for concurrent use.
+func (m *Manager) Pin(ns ...Node) {
+	m.pinMu.Lock()
+	for _, n := range ns {
+		if n&^1 == 0 {
+			continue
+		}
+		m.pinned[n&^1]++
+	}
+	m.pinMu.Unlock()
+}
+
+// Unpin releases pins taken by Pin. Unpinning below zero panics: it means
+// an owner released a handle it never pinned, which would silently expose
+// another owner's nodes to reclamation.
+func (m *Manager) Unpin(ns ...Node) {
+	m.pinMu.Lock()
+	for _, n := range ns {
+		if n&^1 == 0 {
+			continue
+		}
+		k := n &^ 1
+		c, ok := m.pinned[k]
+		if !ok {
+			m.pinMu.Unlock()
+			panic("bdd: Unpin without matching Pin")
+		}
+		if c == 1 {
+			delete(m.pinned, k)
+		} else {
+			m.pinned[k] = c - 1
+		}
+	}
+	m.pinMu.Unlock()
+}
+
+// Gen returns the reclamation generation: it increments on every Reclaim.
+// External memo structures keyed by node handles (e.g. SPF's conversion
+// cache) compare it against the generation they were built under and flush
+// when it moved, exactly as Workers invalidate their op caches.
+func (m *Manager) Gen() uint64 { return m.gen.Load() }
+
+// PinnedCount returns the number of distinct pinned handles (not the
+// refcount sum). Telemetry only.
+func (m *Manager) PinnedCount() int {
+	m.pinMu.Lock()
+	n := len(m.pinned)
+	m.pinMu.Unlock()
+	return n
+}
+
+// ReclaimStats are the manager's cumulative reclamation counters.
+type ReclaimStats struct {
+	// Runs counts completed Reclaim calls.
+	Runs int64
+	// Freed is the total number of slab slots released across all runs.
+	Freed int64
+	// Pause is the total stop-the-world time across all runs.
+	Pause time.Duration
+	// Live is the current live node count (same as NumNodes).
+	Live int64
+}
+
+// ReclaimStats returns the cumulative reclamation counters. Safe for
+// concurrent use.
+func (m *Manager) ReclaimStats() ReclaimStats {
+	return ReclaimStats{
+		Runs:  m.rcRuns.Load(),
+		Freed: m.rcFreed.Load(),
+		Pause: time.Duration(m.rcPause.Load()),
+		Live:  m.live.Load(),
+	}
+}
+
+// Reclaim frees every node not reachable from the given roots or from the
+// Pin set: a stop-the-world mark-and-sweep over the slab. Live handles are
+// never renumbered; dead slots go on a free list for reuse by later mk
+// calls, each unique-table stripe is compacted to its surviving
+// population, and dead fingerprint memos are dropped. Returns the number
+// of slots freed.
+//
+// The caller must guarantee quiescence: no other goroutine may use the
+// Manager (or any Worker) during the call, and goroutines resuming
+// afterwards must be ordered after it (e.g. by a channel barrier). Any
+// handle not covered by roots or pins is invalid after Reclaim — along
+// with anything derived from it, such as memo keys embedding handle
+// numbers. Worker memos are invalidated automatically (lazily, via a
+// generation counter) on the next operation.
+func (m *Manager) Reclaim(roots ...Node) int {
+	start := time.Now()
+	n := uint32(m.next.Load())
+	marked := make([]uint64, (n+63)/64)
+	marked[0] = 1 // the shared constant is always live
+	var mark func(Node)
+	mark = func(x Node) {
+		idx := uint32(x) >> 1
+		if marked[idx>>6]&(1<<(idx&63)) != 0 {
+			return
+		}
+		marked[idx>>6] |= 1 << (idx & 63)
+		nd := m.slot(idx)
+		if nd.level == maxLevel {
+			return
+		}
+		mark(nd.low)
+		mark(nd.high)
+	}
+	m.pinMu.Lock()
+	for p := range m.pinned {
+		mark(p)
+	}
+	m.pinMu.Unlock()
+	for _, r := range roots {
+		mark(r)
+	}
+	keep := func(v Node) bool {
+		idx := uint32(v) >> 1
+		return marked[idx>>6]&(1<<(idx&63)) != 0
+	}
+	for i := range m.unique {
+		st := &m.unique[i]
+		st.mu.Lock()
+		st.t.compact(keep)
+		st.mu.Unlock()
+	}
+	m.freeMu.Lock()
+	m.free = m.free[:0]
+	for idx := uint32(1); idx < n; idx++ {
+		if marked[idx>>6]&(1<<(idx&63)) == 0 {
+			m.free = append(m.free, int32(idx))
+		}
+	}
+	live := int64(n) - int64(len(m.free))
+	m.nFree.Store(int64(len(m.free)))
+	m.freeMu.Unlock()
+	freed := int(m.live.Load() - live)
+	m.live.Store(live)
+	m.fps.Range(func(k, _ any) bool {
+		if !keep(k.(Node)) {
+			m.fps.Delete(k)
+		}
+		return true
+	})
+	m.gen.Add(1)
+	pause := int64(time.Since(start))
+	m.rcRuns.Add(1)
+	m.rcFreed.Add(int64(freed))
+	m.rcPause.Add(pause)
+	globalRcRuns.Add(1)
+	globalRcFreed.Add(int64(freed))
+	globalRcPause.Add(pause)
+	return freed
+}
+
+// Process-wide reclamation aggregates across every Manager, bumped once
+// per sweep. A serving process creates and drops managers as verification
+// chains come and go; per-manager counters vanish with their manager,
+// while these stay monotone for /metrics-style scrapes.
+var (
+	globalRcRuns  atomic.Int64
+	globalRcFreed atomic.Int64
+	globalRcPause atomic.Int64
+)
+
+// GlobalReclaimStats returns the process-wide reclamation counters summed
+// over all managers, past and present. Live is always 0 here: a live
+// population only makes sense per manager.
+func GlobalReclaimStats() ReclaimStats {
+	return ReclaimStats{
+		Runs:  globalRcRuns.Load(),
+		Freed: globalRcFreed.Load(),
+		Pause: time.Duration(globalRcPause.Load()),
+	}
+}
+
+// Fingerprint salts folded in for a complemented handle: ¬f's fingerprint
+// is a fixed mix of f's, so it is stable across runs without storing a
+// second memo entry.
+const (
+	fpNotHi = 0xd6e8feb86659fd93
+	fpNotLo = 0x9e6c63d0876a9a47
+)
+
 // Fingerprint returns a 128-bit structural fingerprint of n, derived from
-// the BDD's canonical shape (variable levels and branch structure) rather
-// than from handle numbers. Two nodes have equal fingerprints iff they
-// represent the same function (up to hash collision, which at 128 bits is
-// negligible), in this run or any other — unlike handle numbers, which
-// depend on node-creation order and therefore on goroutine scheduling.
-// Use it wherever an ordering must be identical across runs and worker
-// counts. Memoized; safe for concurrent use.
+// the BDD's canonical shape (variable levels, branch structure, complement
+// bits) rather than from handle numbers. Two nodes have equal fingerprints
+// iff they represent the same function (up to hash collision, which at 128
+// bits is negligible), in this run or any other — unlike handle numbers,
+// which depend on node-creation order and therefore on goroutine
+// scheduling and reclamation history. Use it wherever an ordering must be
+// identical across runs and worker counts. Memoized per regular handle;
+// safe for concurrent use.
 func (m *Manager) Fingerprint(n Node) (hi, lo uint64) {
 	switch n {
 	case False:
 		return 0x8c61d8af5a6d2e11, 0x3b7f0f2d9c4e8b67
 	case True:
 		return 0x1f83d9abfb41bd6b, 0x9b05688c2b3e6c1f
+	}
+	if n&1 != 0 {
+		rhi, rlo := m.Fingerprint(n ^ 1)
+		return fpMix(rhi ^ fpNotHi), fpMix(rlo ^ fpNotLo)
 	}
 	if v, ok := m.fps.Load(n); ok {
 		fp := v.([2]uint64)

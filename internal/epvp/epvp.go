@@ -89,10 +89,15 @@ type transferKey struct {
 
 // edgeKey identifies a memoized edge transfer without building a composite
 // string per lookup (the old u+"|"+v+"|"+Key() key dominated allocations on
-// the fixed-point hot path); rkey is the route's memoized Key.
+// the fixed-point hot path); rkey is the route's memoized Key. un is the
+// route's U handle — fully determined by rkey (which embeds its digits) so
+// it does not change key identity, but keeping it lets reclamation root
+// memo entries: if un were freed and its handle reused by a different
+// predicate, a later route could collide with this entry's rkey.
 type edgeKey struct {
 	u, v string
 	rkey string
+	un   bdd.Node
 }
 
 // edgeMemo is the cross-round edge-transfer cache, lock-striped so parallel
@@ -142,6 +147,25 @@ func (em *edgeMemo) put(k edgeKey, v []*symbolic.Route) {
 	s.mu.Lock()
 	s.m[k] = v
 	s.mu.Unlock()
+}
+
+// roots appends every BDD handle the memo references — input routes (keys)
+// and output routes (values) — so entries survive dead-node reclamation;
+// the memo is the cross-round (and warm-start) transfer cache, so keeping
+// its nodes live is the point of the cache.
+func (em *edgeMemo) roots(out []bdd.Node) []bdd.Node {
+	for i := range em.stripes {
+		s := &em.stripes[i]
+		s.mu.Lock()
+		for k, rs := range s.m {
+			out = append(out, k.un)
+			for _, r := range rs {
+				out = append(out, r.U)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Result is the converged symbolic routing state.
@@ -295,6 +319,22 @@ func NewWarm(ctx context.Context, net *topology.Network, mode Mode, prior *Engin
 
 // Ctx exposes the compile context (spaces and feature flags).
 func (e *Engine) Ctx() symbolic.CompileContext { return e.ctx }
+
+// Roots returns every prefix-space BDD handle the engine keeps alive
+// across runs: the compiled transfer guards and the cross-round
+// edge-transfer memo (both are what make a warm start cheap). Callers
+// running bdd.Manager.Reclaim at stage boundaries — the pipeline does,
+// before SPF — must pass these as roots, along with any result routes they
+// retain themselves (the pipeline pins its cached artifacts instead). The
+// engine must be quiescent (no run in progress).
+func (e *Engine) Roots() []bdd.Node {
+	out := make([]bdd.Node, 0, 256)
+	out = append(out, e.permitAll.Nodes()...)
+	for _, t := range e.transfers {
+		out = append(out, t.Nodes()...)
+	}
+	return e.edgeMemo.roots(out)
+}
 
 // fork returns a shallow copy of the engine whose BDD operations run
 // through private per-worker memo caches (symbolic.Space.Fork). Forks share
@@ -489,7 +529,7 @@ func (e *Engine) ImportCandidates(v, ext string) []*symbolic.Route {
 // sealed before publication and shared across round workers; callers must
 // treat them as immutable (Merge clones before mutating).
 func (e *Engine) edgeTransfer(u, v string, r *symbolic.Route) []*symbolic.Route {
-	key := edgeKey{u: u, v: v, rkey: r.Key()}
+	key := edgeKey{u: u, v: v, rkey: r.Key(), un: r.U}
 	if out, ok := e.edgeMemo.get(key); ok {
 		return out
 	}
@@ -598,6 +638,16 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 		Best:        map[string][]*symbolic.Route{},
 		ExternalRIB: map[string][]*symbolic.Route{},
 	}
+	// Between-round reclamation trigger: sweep once hash-consing growth
+	// since the last sweep exceeds the budget. created at a round boundary
+	// is a pure function of the canonical node set, so the trigger fires
+	// in the same rounds for every worker count (the determinism
+	// invariant).
+	reclaimBudget, reclaimOn := telemetry.ReclaimBudgetFromEnv()
+	var createdFloor int64
+	if reclaimOn {
+		_, createdFloor = e.Space.M.UniqueStats()
+	}
 	workers := e.WorkerCount()
 	var forks []*Engine
 	if workers > 1 {
@@ -693,30 +743,51 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 				changedNow[v] = true
 			}
 		}
+		converged := len(changedNow) == 0
+		best = next
+		changedLast = changedNow
+		// Dead-node reclamation between rounds: once enough new nodes have
+		// been hash-consed, sweep everything unreachable from the round's
+		// live state. The forks are quiescent here (WaitGroup barrier), and
+		// the next round's goroutines start after this point, satisfying
+		// Reclaim's quiescence contract; worker memos invalidate lazily via
+		// the manager's generation counter.
+		var rcFreed, rcPause int64
+		var rcRuns int64
+		if reclaimOn && !converged {
+			if _, created := e.Space.M.UniqueStats(); created-createdFloor >= int64(reclaimBudget) {
+				rc0 := e.Space.M.ReclaimStats()
+				rcFreed = int64(e.Space.M.Reclaim(e.runRoots(best, extInit, seed)...))
+				rcPause = int64(e.Space.M.ReclaimStats().Pause - rc0.Pause)
+				rcRuns = 1
+				_, createdFloor = e.Space.M.UniqueStats()
+			}
+		}
 		if e.Trace.Enabled() {
 			uhits1, nodes1 := e.Space.M.UniqueStats()
 			ihits1, imiss1 := e.memoStats(forks)
 			e.Trace.Round(telemetry.RoundEvent{
-				Round:        iter + 1,
-				Recomputed:   len(work),
-				Frontier:     frontier,
-				RIBChanges:   len(changedNow),
-				BDDNodes:     nodes1,
-				BDDGrowth:    nodes1 - nodes0,
-				ITEHits:      ihits1 - ihits0,
-				ITEMisses:    imiss1 - imiss0,
-				UniqueHits:   uhits1 - uhits0,
-				UniqueMisses: nodes1 - nodes0,
-				Duration:     time.Since(roundStart).Nanoseconds(),
+				Round:          iter + 1,
+				Recomputed:     len(work),
+				Frontier:       frontier,
+				RIBChanges:     len(changedNow),
+				BDDNodes:       int64(e.Space.M.NumNodes()),
+				BDDGrowth:      nodes1 - nodes0,
+				ITEHits:        ihits1 - ihits0,
+				ITEMisses:      imiss1 - imiss0,
+				UniqueHits:     uhits1 - uhits0,
+				UniqueMisses:   nodes1 - nodes0,
+				Reclaims:       rcRuns,
+				ReclaimedNodes: rcFreed,
+				ReclaimNS:      rcPause,
+				Duration:       time.Since(roundStart).Nanoseconds(),
 			})
 		}
-		best = next
-		changedLast = changedNow
-		if len(changedNow) == 0 {
+		if converged {
 			res.Converged = true
 			break
 		}
-		// Bound the ITE memos between rounds on very large runs; the node
+		// Bound the op memos between rounds on very large runs; the node
 		// table itself is retained, so handles stay valid.
 		if e.Space.M.CacheSize() > 64<<20 {
 			e.Space.M.ClearCaches()
@@ -768,6 +839,37 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 		res.ExternalRIB[ext] = kept
 	}
 	return res, nil
+}
+
+// runRoots gathers the BDD roots live at a round boundary: the round's
+// RIBs, the external wildcard seeds, the warm seed (a direct
+// RunWarmContext caller may retain the prior result without pinning it),
+// and the engine's cross-run roots (transfers and the edge memo). The
+// space's own cached predicates are pinned by NewSpace, and pipeline
+// artifacts pin their routes, so neither needs listing here.
+func (e *Engine) runRoots(best map[string][]*symbolic.Route, extInit map[string]*symbolic.Route, seed *Result) []bdd.Node {
+	roots := e.Roots()
+	for _, rs := range best {
+		for _, r := range rs {
+			roots = append(roots, r.U)
+		}
+	}
+	for _, r := range extInit {
+		roots = append(roots, r.U)
+	}
+	if seed != nil {
+		for _, rs := range seed.Best {
+			for _, r := range rs {
+				roots = append(roots, r.U)
+			}
+		}
+		for _, rs := range seed.ExternalRIB {
+			for _, r := range rs {
+				roots = append(roots, r.U)
+			}
+		}
+	}
+	return roots
 }
 
 // memoStats sums the cumulative ITE-memo counters across the engine's

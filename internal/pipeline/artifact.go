@@ -5,12 +5,20 @@ import (
 	"sync"
 	"time"
 
+	"github.com/expresso-verify/expresso/internal/bdd"
 	"github.com/expresso-verify/expresso/internal/config"
 	"github.com/expresso-verify/expresso/internal/epvp"
 	"github.com/expresso-verify/expresso/internal/properties"
 	"github.com/expresso-verify/expresso/internal/spf"
 	"github.com/expresso-verify/expresso/internal/topology"
 )
+
+// pinner is implemented by artifacts that root BDD handles against
+// dead-node reclamation (bdd.Manager.Pin). The stage cache releases the
+// pins when an artifact is evicted, letting later sweeps in that manager
+// collect it; in-flight requests stay safe because every sweep point also
+// passes its own working set as explicit roots.
+type pinner interface{ unpinHandles() }
 
 // LoadArtifact is the Load stage's output: the built network plus the
 // content addresses the downstream stage keys chain on. Digest == ""
@@ -80,8 +88,44 @@ type SRCArtifact struct {
 	// manager: the manager's default worker is not safe for concurrent
 	// use, and a cached artifact can be picked up by several requests at
 	// once. Artifacts produced by warm-starting share the prior
-	// artifact's manager, so they share its lock too.
+	// artifact's manager, so they share its lock too. Reclaim sweeps run
+	// under it as well, which is what makes them safe: every other
+	// symbolic computation on the manager is excluded for the duration.
 	runLock *sync.Mutex
+
+	pins []bdd.Node
+}
+
+// handles returns every BDD handle the artifact must keep valid: the
+// engine's cross-run roots (compiled transfers and the edge-transfer memo)
+// plus the converged RIBs' prefix-environment sets.
+func (a *SRCArtifact) handles() []bdd.Node {
+	roots := a.Eng.Roots()
+	for _, rs := range a.Res.Best {
+		for _, r := range rs {
+			roots = append(roots, r.U)
+		}
+	}
+	for _, rs := range a.Res.ExternalRIB {
+		for _, r := range rs {
+			roots = append(roots, r.U)
+		}
+	}
+	return roots
+}
+
+// pinHandles roots the artifact's handles against dead-node reclamation.
+// Called once, when the artifact is built; warm runs chained onto this
+// manager may sweep between rounds, and the sweep must not collect a
+// cached fixed point another request can still hit.
+func (a *SRCArtifact) pinHandles() {
+	a.pins = a.handles()
+	a.Eng.Space.M.Pin(a.pins...)
+}
+
+func (a *SRCArtifact) unpinHandles() {
+	a.Eng.Space.M.Unpin(a.pins...)
+	a.pins = nil
 }
 
 // lock serializes engine-touching computation on the artifact's manager.
@@ -95,6 +139,33 @@ func (a *SRCArtifact) unlock() { a.runLock.Unlock() }
 type AnalysisArtifact struct {
 	Key        string
 	Violations []properties.Violation
+
+	m    *bdd.Manager
+	pins []bdd.Node
+}
+
+// handles returns the violations' condition predicates — the only BDD
+// state an analysis artifact carries.
+func (a *AnalysisArtifact) handles() []bdd.Node {
+	out := make([]bdd.Node, 0, len(a.Violations))
+	for _, v := range a.Violations {
+		out = append(out, v.Cond)
+	}
+	return out
+}
+
+// pinHandles roots the violation conditions in the manager that built
+// them, so a cached analysis artifact's Cond handles stay valid across
+// reclaim sweeps by later runs in the same manager.
+func (a *AnalysisArtifact) pinHandles(m *bdd.Manager) {
+	a.m = m
+	a.pins = a.handles()
+	m.Pin(a.pins...)
+}
+
+func (a *AnalysisArtifact) unpinHandles() {
+	a.m.Unpin(a.pins...)
+	a.pins = nil
 }
 
 // SPFArtifact is the SPF stage's output: symbolic FIBs and PECs, valid in
@@ -103,6 +174,22 @@ type SPFArtifact struct {
 	Key    string
 	Digest string
 	Res    *spf.Result
+
+	m    *bdd.Manager
+	pins []bdd.Node
+}
+
+// pinHandles roots the FIB and PEC predicates (spf.Result.Nodes) in the
+// SRC manager the SPF stage ran in.
+func (a *SPFArtifact) pinHandles(m *bdd.Manager) {
+	a.m = m
+	a.pins = a.Res.Nodes()
+	m.Pin(a.pins...)
+}
+
+func (a *SPFArtifact) unpinHandles() {
+	a.m.Unpin(a.pins...)
+	a.pins = nil
 }
 
 // DirtyRouters computes the warm-start dirty set between two loads of the

@@ -127,15 +127,28 @@ func (c *StageCache) Add(stage, key string, val any) {
 		return
 	}
 	if el, ok := s.entries[key]; ok {
+		old := el.Value.(*stageEntry).val
 		el.Value.(*stageEntry).val = val
 		s.order.MoveToFront(el)
+		if p, ok := old.(pinner); ok && old != val {
+			p.unpinHandles()
+		}
 		return
 	}
 	s.entries[key] = s.order.PushFront(&stageEntry{key: key, val: val})
 	for s.order.Len() > s.cap {
 		last := s.order.Back()
 		s.order.Remove(last)
-		delete(s.entries, last.Value.(*stageEntry).key)
+		e := last.Value.(*stageEntry)
+		delete(s.entries, e.key)
+		// Release the evicted artifact's reclamation pins: its BDD handles
+		// may now be collected by the next sweep in its manager. Requests
+		// still holding the artifact are unaffected until they release
+		// their run lock (sweeps are serialized behind it) and every sweep
+		// roots its own request's working set explicitly.
+		if p, ok := e.val.(pinner); ok {
+			p.unpinHandles()
+		}
 	}
 }
 

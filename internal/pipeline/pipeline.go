@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/expresso-verify/expresso/internal/bdd"
 	"github.com/expresso-verify/expresso/internal/epvp"
 	"github.com/expresso-verify/expresso/internal/properties"
 	"github.com/expresso-verify/expresso/internal/route"
@@ -121,11 +122,12 @@ type Outcome struct {
 	Stages     []StageInfo
 }
 
-// warmNodeBudget bounds the BDD node count of a manager the Runner is
-// willing to warm-start into. Warm chains share one manager, and every
-// run grows its node table (nodes are never freed); past the budget a
-// cold start with a fresh manager is cheaper than dragging the old
-// universe along.
+// warmNodeBudget bounds the live BDD node count of a manager the Runner
+// is willing to warm-start into. Warm chains share one manager; dead-node
+// reclamation between EPVP rounds keeps the live population bounded, but
+// a manager whose pinned artifacts alone exceed the budget is past the
+// point where a cold start with a fresh manager is cheaper than dragging
+// the old universe along.
 const warmNodeBudget = 4 << 20
 
 // Runner executes the staged pipeline. A nil Cache runs every stage cold
@@ -169,7 +171,7 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 	// --- RoutingAnalysis -----------------------------------------------
 	routingKey := RoutingKey(src.Digest, routingProps, req.BTE)
 	start = time.Now()
-	routing, status, err := r.resolveAnalysis(ctx, StageRouting, routingKey, cacheable, func() ([]properties.Violation, error) {
+	routing, status, err := r.resolveAnalysis(ctx, StageRouting, routingKey, cacheable, src.Eng.Space.M, func() ([]properties.Violation, error) {
 		var vs []properties.Violation
 		src.lock()
 		defer src.unlock()
@@ -214,12 +216,23 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 			return nil, err
 		}
 		src.lock()
+		// Dead-node sweep before SPF: the fixed point's intermediates are
+		// garbage now, and SPF is about to add 33 data-plane variables per
+		// neighbor and build a large fresh population on top. Gated on the
+		// same growth budget as the between-round sweeps so small runs
+		// never pause. The roots are this request's working set — pins
+		// cover the cached artifacts, but an artifact evicted mid-request
+		// must survive its own run too.
+		if budget, on := telemetry.ReclaimBudgetFromEnv(); on && src.Eng.Space.M.NumNodes() >= budget {
+			src.Eng.Space.M.Reclaim(append(src.handles(), routing.handles()...)...)
+		}
 		dp, err := spf.RunTraced(ctx, src.Eng, src.Res, req.Trace)
 		src.unlock()
 		if err != nil {
 			return nil, err
 		}
 		spfArt = &SPFArtifact{Key: spfKey, Digest: hashHex(spfKey), Res: dp}
+		spfArt.pinHandles(src.Eng.Space.M)
 		if cacheable {
 			r.Cache.Add(StageSPF, spfKey, spfArt)
 		}
@@ -230,7 +243,7 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 	// --- ForwardingAnalysis --------------------------------------------
 	forwardingKey := ForwardingKey(spfArt.Digest, forwardingProps)
 	start = time.Now()
-	forwarding, status, err := r.resolveAnalysis(ctx, StageForwarding, forwardingKey, cacheable, func() ([]properties.Violation, error) {
+	forwarding, status, err := r.resolveAnalysis(ctx, StageForwarding, forwardingKey, cacheable, src.Eng.Space.M, func() ([]properties.Violation, error) {
 		var vs []properties.Violation
 		src.lock()
 		defer src.unlock()
@@ -320,6 +333,11 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 			runLock: &sync.Mutex{},
 		}
 	}
+	// Root the fixed point against dead-node reclamation before anything
+	// else (a concurrent warm run, this request's own pre-SPF sweep) can
+	// sweep the manager. Pinned even when uncacheable: the sweep points
+	// downstream rely on it.
+	src.pinHandles()
 	if cacheable {
 		r.Cache.Add(StageSRC, srcKey, src)
 	}
@@ -352,8 +370,9 @@ func (r *Runner) warmCandidate(mode epvp.Mode) *SRCArtifact {
 }
 
 // resolveAnalysis is the shared cache-or-compute driver of the two
-// analysis stages.
-func (r *Runner) resolveAnalysis(ctx context.Context, stage, key string, cacheable bool, compute func() ([]properties.Violation, error)) (*AnalysisArtifact, string, error) {
+// analysis stages. m is the BDD manager the violations' condition
+// predicates live in; the artifact pins them there.
+func (r *Runner) resolveAnalysis(ctx context.Context, stage, key string, cacheable bool, m *bdd.Manager, compute func() ([]properties.Violation, error)) (*AnalysisArtifact, string, error) {
 	if cacheable {
 		if v, ok := r.Cache.Get(stage, key); ok {
 			return v.(*AnalysisArtifact), StatusHit, nil
@@ -367,6 +386,7 @@ func (r *Runner) resolveAnalysis(ctx context.Context, stage, key string, cacheab
 		return nil, StatusMiss, err
 	}
 	art := &AnalysisArtifact{Key: key, Violations: vs}
+	art.pinHandles(m)
 	if cacheable {
 		r.Cache.Add(stage, key, art)
 	}

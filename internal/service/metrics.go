@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/bdd"
 )
 
 // Metrics holds the service counters exposed on /metrics. All fields are
@@ -122,6 +123,12 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int,
 	gauge("expresso_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth))
 	gauge("expresso_workers", "Size of the worker pool.", int64(workers))
 	gauge("expresso_engine_workers", "Engine goroutines per verification job.", int64(engineWorkers))
+
+	rc := bdd.GlobalReclaimStats()
+	counter("expresso_bdd_reclaims_total", "Dead-node sweeps across all BDD managers.", rc.Runs)
+	counter("expresso_bdd_reclaimed_nodes_total", "Slab slots freed by dead-node sweeps.", rc.Freed)
+	fmt.Fprintf(w, "# HELP expresso_bdd_reclaim_pause_seconds_total Cumulative stop-the-world sweep pause.\n# TYPE expresso_bdd_reclaim_pause_seconds_total counter\nexpresso_bdd_reclaim_pause_seconds_total %.6f\n",
+		rc.Pause.Seconds())
 
 	totals, jobs := m.StageTotals()
 	stage := func(name string, d time.Duration) {

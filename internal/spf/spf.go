@@ -109,8 +109,33 @@ type Result struct {
 	// propagates, so the same U appears in many routers' RIBs. Guarded by
 	// convMu: conversions are pure functions of U, so a duplicated
 	// computation by two racing workers is wasted work, never wrong.
+	// convGen is the manager reclamation generation the cache was built
+	// under; a dead-node sweep between uses (warm runs in a shared manager)
+	// may recycle handle numbers, so a stale cache is flushed rather than
+	// trusted.
 	convMu    sync.Mutex
+	convGen   uint64
 	convCache map[bdd.Node][]convEntry
+}
+
+// Nodes returns every BDD handle the result keeps alive: each FIB's
+// per-port, arrival, and black-hole predicates and each PEC's packet set.
+// The pipeline pins these so cached SPF artifacts survive dead-node
+// reclamation triggered by later runs in the same manager. The conversion
+// cache is deliberately excluded — it is acceleration state, rebuilt on
+// demand and flushed when the manager's reclaim generation moves.
+func (r *Result) Nodes() []bdd.Node {
+	var out []bdd.Node
+	for _, f := range r.FIBs {
+		out = append(out, f.Arrive, f.BlackHole)
+		for _, p := range f.PortPred {
+			out = append(out, p)
+		}
+	}
+	for _, p := range r.PECs {
+		out = append(out, p.Pkt)
+	}
+	return out
 }
 
 // convEntry is a converted per-length match predicate, port-independent.
@@ -258,6 +283,10 @@ func (r *Result) convertRoute(sp *symbolic.Space, sr *symbolic.Route) []fibEntry
 // match predicates, memoized on the U handle.
 func (r *Result) convertU(sp *symbolic.Space, u bdd.Node) []convEntry {
 	r.convMu.Lock()
+	if g := r.eng.Space.M.Gen(); g != r.convGen {
+		r.convGen = g
+		r.convCache = map[bdd.Node][]convEntry{}
+	}
 	cached, ok := r.convCache[u]
 	r.convMu.Unlock()
 	if ok {

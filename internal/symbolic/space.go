@@ -68,6 +68,10 @@ func NewSpace(n int) *Space {
 		s.lenCubes[l] = s.M.UintCube(s.lenVars, uint64(l))
 	}
 	s.valid = s.computeValid()
+	// The cached predicates must survive dead-node reclamation for the
+	// life of the space (forks share them by value).
+	s.M.Pin(s.valid)
+	s.M.Pin(s.lenCubes[:]...)
 	return s
 }
 

@@ -32,6 +32,18 @@ type Transfer struct {
 	Pairs []TransferPair
 }
 
+// Nodes returns the prefix-space BDD handles the transfer holds (one guard
+// prefix per pair), for rooting compiled transfers across dead-node
+// reclamations. Community guards live in the community space's separate
+// manager, which is never reclaimed.
+func (t *Transfer) Nodes() []bdd.Node {
+	out := make([]bdd.Node, 0, len(t.Pairs))
+	for _, p := range t.Pairs {
+		out = append(out, p.Guard.Prefix)
+	}
+	return out
+}
+
 // CompileContext carries the spaces a compilation targets.
 type CompileContext struct {
 	Space *Space

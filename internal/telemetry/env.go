@@ -35,3 +35,38 @@ func WorkersFromEnv() int {
 	}
 	return n
 }
+
+// warnedReclaim deduplicates the malformed-EXPRESSO_RECLAIM warning, for
+// the same reason as warnedWorkers.
+var warnedReclaim sync.Once
+
+// DefaultReclaimBudget is the between-round dead-node reclamation trigger
+// when EXPRESSO_RECLAIM is unset: sweep once at least this many nodes have
+// been hash-consed since the last sweep (or the start of the run). Sized so
+// short verifications never pause for a sweep while long fixed points and
+// warm-start chains keep their live heap bounded.
+const DefaultReclaimBudget = 2 << 20
+
+// ReclaimBudgetFromEnv parses the EXPRESSO_RECLAIM environment variable:
+// "off" disables between-round reclamation, a positive integer overrides
+// the node-growth budget that triggers a sweep (tests use tiny values to
+// force sweeps on small networks), and unset/malformed values fall back to
+// DefaultReclaimBudget (with a once-per-process warning when malformed).
+// This is the only parser of the variable.
+func ReclaimBudgetFromEnv() (budget int, enabled bool) {
+	env := os.Getenv("EXPRESSO_RECLAIM")
+	switch env {
+	case "":
+		return DefaultReclaimBudget, true
+	case "off":
+		return 0, false
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		warnedReclaim.Do(func() {
+			slog.Warn("ignoring malformed EXPRESSO_RECLAIM (want a positive integer or \"off\")", "value", env)
+		})
+		return DefaultReclaimBudget, true
+	}
+	return n, true
+}

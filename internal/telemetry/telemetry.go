@@ -58,7 +58,9 @@ type Span struct {
 // RoundEvent records one EPVP synchronous round (§4 of the paper): how
 // much of the network was still in motion and what it cost symbolically.
 // UniqueMisses equals the number of BDD nodes hash-consed during the
-// round, which is also the node-table growth (nodes are never freed).
+// round; BDDNodes is the live population, which can shrink when the
+// engine reclaims dead nodes between rounds (the Reclaim* fields record
+// those sweeps).
 type RoundEvent struct {
 	// Round is 1-based and matches the engine's reported Iterations.
 	Round int `json:"round"`
@@ -69,19 +71,27 @@ type RoundEvent struct {
 	Frontier int `json:"frontier"`
 	// RIBChanges counts the routers whose RIBs changed this round.
 	RIBChanges int `json:"rib_changes"`
-	// BDDNodes is the manager's node count after the round; BDDGrowth is
-	// the round's node-table growth.
+	// BDDNodes is the manager's live node count after the round (post any
+	// reclamation); BDDGrowth is the round's hash-consing growth, which is
+	// monotone even across reclaims.
 	BDDNodes  int64 `json:"bdd_nodes"`
 	BDDGrowth int64 `json:"bdd_node_growth"`
-	// ITEHits/ITEMisses are the round's ITE-memo lookups summed across
-	// the engine's BDD workers.
+	// ITEHits/ITEMisses are the round's operation-memo lookups (the ITE
+	// cache and the binary apply-kernel cache) summed across the engine's
+	// BDD workers.
 	ITEHits   int64 `json:"ite_hits"`
 	ITEMisses int64 `json:"ite_misses"`
 	// UniqueHits/UniqueMisses are the round's unique-table (hash-consing)
 	// lookups: a hit reused a canonical node, a miss created one.
 	UniqueHits   int64 `json:"unique_hits"`
 	UniqueMisses int64 `json:"unique_misses"`
-	Duration     int64 `json:"duration_ns"`
+	// Reclaims counts dead-node sweeps run at this round's boundary;
+	// ReclaimedNodes is how many slab slots they freed and ReclaimNS their
+	// total stop-the-world pause. All zero in rounds without a sweep.
+	Reclaims       int64 `json:"reclaims,omitempty"`
+	ReclaimedNodes int64 `json:"reclaimed_nodes,omitempty"`
+	ReclaimNS      int64 `json:"reclaim_ns,omitempty"`
+	Duration       int64 `json:"duration_ns"`
 }
 
 // FIBEvent records one router's symbolic FIB compilation during SPF.

@@ -1,0 +1,45 @@
+# Turns `go test -bench` output for the PR-5 BDD overhaul into
+# BENCH_pr5.json (see `make bench-bdd`): the region-1 end-to-end run after
+# the overhaul, against the recorded PR-4 baseline of the same benchmark
+# (complement edges, apply kernels, and bounded op caches landed between
+# the two), plus the BDD microbenchmarks.
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && NF >= 7 {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+	ns[name] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	# BenchmarkVerifyRegion1 as recorded in BENCH_pr4.json, before the
+	# overhaul.
+	base_ns = 632202302
+	base_bytes = 223653121
+	base_allocs = 102854
+	r1 = "BenchmarkVerifyRegion1"
+	printf "{\n"
+	printf "  \"pr\": 5,\n"
+	printf "  \"benchmark\": \"BDD hot-path overhaul: region-1 end-to-end before/after, plus kernel/reclaim microbenchmarks\",\n"
+	printf "  \"command\": \"make bench-bdd\",\n"
+	printf "  \"environment\": { \"cpu\": \"%s\" },\n", cpu
+	printf "  \"region1_before\": { \"name\": \"%s\", \"source\": \"BENCH_pr4.json\", \"ns_per_op\": %d, \"bytes_per_op\": %d, \"allocs_per_op\": %d },\n", \
+		r1, base_ns, base_bytes, base_allocs
+	if (r1 in ns) {
+		printf "  \"region1_after\": { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s },\n", \
+			r1, ns[r1], bytes[r1], allocs[r1]
+		printf "  \"region1_bytes_reduction_percent\": %.1f,\n", 100 * (base_bytes - bytes[r1]) / base_bytes
+		printf "  \"region1_ns_reduction_percent\": %.1f,\n", 100 * (base_ns - ns[r1]) / base_ns
+	}
+	printf "  \"results\": [\n"
+	first = 1
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (name == r1) continue
+		printf "%s    { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }", \
+			(first ? "" : ",\n"), name, ns[name], bytes[name], allocs[name]
+		first = 0
+	}
+	printf "\n  ]\n}\n"
+}

@@ -10,9 +10,9 @@ GO ?= go
 # engine under the race detector.
 RACE_WORKERS ?= 4
 
-.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd alloc-guard
+.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd bench-store bench-workers store-check alloc-guard
 
-ci: vet staticcheck build race race-parallel alloc-guard
+ci: vet staticcheck build race race-parallel store-check alloc-guard
 
 vet:
 	$(GO) vet ./...
@@ -95,6 +95,35 @@ bench-bdd:
 		-benchmem -benchtime=5x | tee -a /tmp/bench_bdd.out
 	awk -f scripts/bench_bdd.awk /tmp/bench_bdd.out > BENCH_pr5.json
 	@cat BENCH_pr5.json
+
+# Artifact-store gate: the disk-warm determinism matrix (byte-identical
+# reports across fixtures, worker counts, and forced reclamation sweeps),
+# the shared-directory replica scenario, corruption/version-mismatch
+# injection, and the memory-eviction interaction — plus the store and
+# codec unit tests (framing, LRU eviction, tmp sweep, import fuzz seeds).
+store-check:
+	$(GO) test . -run 'TestStore' -count=1 -timeout 15m
+	$(GO) test -count=1 ./internal/store/ ./internal/bdd/ ./internal/automaton/
+
+# Store pricing on region 1: scratch pipeline vs a cold process
+# deserializing every stage from a populated store directory vs the
+# in-memory cache ceiling.
+bench-store:
+	$(GO) test . -run XXX -bench 'BenchmarkStoreRegion1(Cold|DiskWarm|MemWarm)$$' \
+		-benchmem -benchtime=3x | tee /tmp/bench_store.out
+	awk -v cores=$$(nproc) -f scripts/bench_store.awk /tmp/bench_store.out
+
+# The PR-6 recorded numbers: the region-1 engine worker sweep (workers
+# 1, 2, 4) plus the store cold/disk-warm/mem-warm trio, into
+# BENCH_pr6.json. The environment note records the core count — on a
+# single-core box the sweep prices coordination overhead, not speedup.
+bench-workers:
+	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1Parallel$$' \
+		-benchmem -benchtime=3x | tee /tmp/bench_pr6.out
+	$(GO) test . -run XXX -bench 'BenchmarkStoreRegion1(Cold|DiskWarm|MemWarm)$$' \
+		-benchmem -benchtime=3x | tee -a /tmp/bench_pr6.out
+	awk -v cores=$$(nproc) -f scripts/bench_store.awk /tmp/bench_pr6.out > BENCH_pr6.json
+	@cat BENCH_pr6.json
 
 # Allocation-regression guard: one cold region-1 verification must stay
 # under the byte ceiling in alloc_guard_test.go. The test skips itself

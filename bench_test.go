@@ -249,3 +249,80 @@ func workerSweep() []int {
 	}
 	return sweep
 }
+
+// storeBenchOpts selects one property per analysis stage so the store
+// benchmarks below exercise every persisted artifact: the SRC fixed
+// point, both analysis violation sets, and the SPF forwarding result.
+func storeBenchOpts() expresso.Options {
+	return expresso.Options{Properties: []expresso.Kind{
+		expresso.RouteLeakFree, expresso.RouteHijackFree, expresso.TrafficHijackFree,
+	}}
+}
+
+// BenchmarkStoreRegion1Cold is the scratch baseline for the artifact
+// store: every iteration is a fresh Verifier with no store attached, so
+// it pays the full Load + SRC + analyses + SPF pipeline.
+func BenchmarkStoreRegion1Cold(b *testing.B) {
+	text := netgen.CSP(netgen.CSPOldRegion(1))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := expresso.NewVerifier(expresso.VerifierConfig{})
+		if _, _, err := v.VerifyText(ctx, text, storeBenchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRegion1DiskWarm measures a cold process warm-starting
+// from a populated store directory: every iteration is a fresh Verifier
+// (empty stage caches) whose SRC, analysis, and SPF artifacts all
+// deserialize from disk; only config parsing, policy compilation, and
+// blob decoding remain. `make bench-store` records it against the cold
+// baseline in BENCH_pr6.json.
+func BenchmarkStoreRegion1DiskWarm(b *testing.B) {
+	text := netgen.CSP(netgen.CSPOldRegion(1))
+	ctx := context.Background()
+	dir := b.TempDir()
+	if _, _, err := expresso.NewVerifier(expresso.VerifierConfig{StoreDir: dir}).VerifyText(ctx, text, storeBenchOpts()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := expresso.NewVerifier(expresso.VerifierConfig{StoreDir: dir})
+		_, info, err := v.VerifyText(ctx, text, storeBenchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range info.Stages {
+			if st.Stage == "src" && st.Status != expresso.StageDisk {
+				b.Fatalf("SRC not served from disk on iteration %d (stages %+v)", i, info.Stages)
+			}
+		}
+	}
+}
+
+// BenchmarkStoreRegion1MemWarm is the in-memory ceiling the disk tier is
+// measured against: one primed Verifier resubmitting the same request
+// with the report cache disabled, so every stage is an in-memory cache
+// hit and only keying and provenance assembly run.
+func BenchmarkStoreRegion1MemWarm(b *testing.B) {
+	text := netgen.CSP(netgen.CSPOldRegion(1))
+	ctx := context.Background()
+	v := expresso.NewVerifier(expresso.VerifierConfig{ReportCache: -1})
+	if _, _, err := v.VerifyText(ctx, text, storeBenchOpts()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, info, err := v.VerifyText(ctx, text, storeBenchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range info.Stages {
+			if st.Stage == "src" && st.Status != expresso.StageHit {
+				b.Fatalf("SRC not served from memory on iteration %d (stages %+v)", i, info.Stages)
+			}
+		}
+	}
+}

@@ -138,6 +138,7 @@ func cmdCheck(args []string) {
 	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	explainCache := fs.Bool("explain-cache", false, "run through the staged verifier and print per-stage provenance (status, key, duration)")
 	traceFile := fs.String("trace", "", "write a JSON run trace (per-stage spans, EPVP rounds, SPF events) to this file")
+	storeDir := fs.String("store-dir", "", "persistent artifact store directory; stage artifacts are written through and served back on later runs")
 	fs.Parse(args)
 
 	opts := expresso.Options{Workers: *workers}
@@ -170,11 +171,11 @@ func cmdCheck(args []string) {
 		info *expresso.RunInfo
 		err  error
 	)
-	if *explainCache || *traceFile != "" {
+	if *explainCache || *traceFile != "" || *storeDir != "" {
 		// The staged verifier path also times the load stage, so traces
 		// carry a span for every pipeline stage.
 		text := loadConfigText(*file, *dir)
-		v := expresso.NewVerifier(expresso.VerifierConfig{})
+		v := expresso.NewVerifier(expresso.VerifierConfig{StoreDir: *storeDir})
 		rep, info, err = v.VerifyText(context.Background(), text, opts)
 		if !*explainCache {
 			info = nil // provenance output wasn't asked for
@@ -331,6 +332,8 @@ func cmdServe(args []string) {
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	trace := fs.Bool("trace", false, "record a run trace per job, served on GET /v1/jobs/{id}/trace")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and /debug/stats on this extra address (e.g. localhost:6060)")
+	storeDir := fs.String("store-dir", "", "persistent artifact store directory shared across replicas; restarts warm-start from it")
+	storeBudget := fs.Int64("store-budget", 0, "artifact store size budget in bytes; LRU blobs are evicted past it (0 = unlimited)")
 	fs.Parse(args)
 
 	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
@@ -347,6 +350,8 @@ func cmdServe(args []string) {
 		JobTimeout:    *timeout,
 		Logger:        logger,
 		Trace:         *trace,
+		StoreDir:      *storeDir,
+		StoreBudget:   *storeBudget,
 	})
 	srv.Start()
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

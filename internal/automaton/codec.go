@@ -1,0 +1,147 @@
+package automaton
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Binary DFA format (version 1), used by the artifact store to persist
+// symbolic AS paths. All integers are unsigned varints.
+//
+//	magic  "XDFA" (4 bytes)
+//	version uvarint (currently 1)
+//	nstates uvarint
+//	start   uvarint
+//	nstates × state records:
+//	    flags  uvarint (bit 0 = accept)
+//	    other  uvarint (default-transition target)
+//	    ntrans uvarint
+//	    ntrans × (symbol uvarint, target uvarint), sorted by symbol
+//
+// Decoding rebuilds the automaton through minimize(), so the result is
+// always canonical (and its signature sealed) regardless of how the blob
+// numbered its states.
+const (
+	codecMagic   = "XDFA"
+	codecVersion = 1
+)
+
+// Export serializes the automaton. The encoding is deterministic: states
+// keep their canonical minimized numbering and transitions are sorted by
+// symbol.
+func (a *Automaton) Export() []byte {
+	buf := make([]byte, 0, 16+8*len(a.states))
+	buf = append(buf, codecMagic...)
+	buf = binary.AppendUvarint(buf, codecVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(a.states)))
+	buf = binary.AppendUvarint(buf, uint64(a.start))
+	for _, st := range a.states {
+		var flags uint64
+		if st.accept {
+			flags |= 1
+		}
+		buf = binary.AppendUvarint(buf, flags)
+		buf = binary.AppendUvarint(buf, uint64(st.other))
+		syms := make([]Symbol, 0, len(st.trans))
+		for s := range st.trans {
+			syms = append(syms, s)
+		}
+		sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+		buf = binary.AppendUvarint(buf, uint64(len(syms)))
+		for _, s := range syms {
+			buf = binary.AppendUvarint(buf, uint64(s))
+			buf = binary.AppendUvarint(buf, uint64(st.trans[s]))
+		}
+	}
+	return buf
+}
+
+// Import decodes an Export blob. Arbitrary input yields an error or a valid
+// minimal automaton — never a panic: every state index is range-checked and
+// the decoded machine is re-minimized, which also seals its signature.
+func Import(data []byte) (*Automaton, error) {
+	if len(data) < len(codecMagic) || string(data[:len(codecMagic)]) != codecMagic {
+		return nil, fmt.Errorf("automaton: import: bad magic")
+	}
+	off := len(codecMagic)
+	next := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("automaton: import: truncated %s at offset %d", what, off)
+		}
+		off += n
+		return v, nil
+	}
+	version, err := next("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("automaton: import: unsupported format version %d", version)
+	}
+	nstates, err := next("state count")
+	if err != nil {
+		return nil, err
+	}
+	// Each state record is at least 3 bytes.
+	if nstates == 0 || nstates > uint64(len(data))/3 {
+		return nil, fmt.Errorf("automaton: import: state count %d out of range", nstates)
+	}
+	start, err := next("start state")
+	if err != nil {
+		return nil, err
+	}
+	if start >= nstates {
+		return nil, fmt.Errorf("automaton: import: start state %d out of range", start)
+	}
+	a := &Automaton{states: make([]state, nstates), start: int(start)}
+	for i := range a.states {
+		flags, err := next("flags")
+		if err != nil {
+			return nil, err
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("automaton: import: state %d has unknown flags %#x", i, flags)
+		}
+		other, err := next("default target")
+		if err != nil {
+			return nil, err
+		}
+		if other >= nstates {
+			return nil, fmt.Errorf("automaton: import: state %d default target %d out of range", i, other)
+		}
+		ntrans, err := next("transition count")
+		if err != nil {
+			return nil, err
+		}
+		if ntrans > uint64(len(data))/2 {
+			return nil, fmt.Errorf("automaton: import: state %d transition count %d out of range", i, ntrans)
+		}
+		st := state{trans: make(map[Symbol]int, ntrans), other: int(other), accept: flags&1 != 0}
+		prev := int64(-1)
+		for j := uint64(0); j < ntrans; j++ {
+			sym, err := next("symbol")
+			if err != nil {
+				return nil, err
+			}
+			if sym > uint64(^Symbol(0)) || int64(sym) <= prev {
+				return nil, fmt.Errorf("automaton: import: state %d symbols not strictly sorted", i)
+			}
+			prev = int64(sym)
+			tgt, err := next("target")
+			if err != nil {
+				return nil, err
+			}
+			if tgt >= nstates {
+				return nil, fmt.Errorf("automaton: import: state %d target %d out of range", i, tgt)
+			}
+			st.trans[Symbol(sym)] = int(tgt)
+		}
+		a.states[i] = st
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("automaton: import: %d trailing bytes", len(data)-off)
+	}
+	return a.minimize(), nil
+}

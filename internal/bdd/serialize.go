@@ -1,0 +1,223 @@
+package bdd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary graph format (version 1). All integers are unsigned varints.
+//
+//	magic   "XBDD" (4 bytes)
+//	version uvarint (currently 1)
+//	numVars uvarint (variable count of the exporting manager)
+//	count   uvarint (number of non-constant nodes in the table)
+//	count × node records, children before parents:
+//	    level uvarint
+//	    low   uvarint  (ref<<1 | complement; ref 0 is the constant,
+//	                    ref i ≤ position refers to the i-th record)
+//	    high  uvarint  (same encoding; never complemented — canonical form)
+//	nroots  uvarint
+//	nroots × root refs (ref<<1 | complement)
+//
+// The table is topologically ordered (every child precedes its parent), so
+// a decoder can rebuild the graph in one forward pass through the manager's
+// canonical constructor. Handles are positional: the blob carries no slab
+// indices, so it is independent of the exporting manager's allocation
+// history and imports cleanly into any manager with enough variables.
+const (
+	serializeMagic   = "XBDD"
+	serializeVersion = 1
+)
+
+// Export serializes the graphs reachable from roots into the versioned
+// binary node-table format. Complement-edge structure is preserved exactly;
+// the root list keeps order and duplicates. The result is deterministic for
+// a given graph shape (depth-first post-order from the roots), though not
+// across managers that built the same functions in different orders.
+func (m *Manager) Export(roots ...Node) []byte {
+	// Map stored slot index -> 1-based table position, children first.
+	pos := map[Node]uint32{0: 0} // stored constant is table ref 0
+	var order []Node             // stored (uncomplemented) handles, topo order
+
+	var stack []Node
+	for _, r := range roots {
+		stack = append(stack, r&^1)
+	}
+	// Iterative post-order: push children, emit when both are placed.
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		if _, ok := pos[n]; ok {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		nd := m.nodeAt(n)
+		lo, hi := nd.low&^1, nd.high&^1
+		_, okLo := pos[lo]
+		_, okHi := pos[hi]
+		if okLo && okHi {
+			stack = stack[:len(stack)-1]
+			order = append(order, n)
+			pos[n] = uint32(len(order))
+			continue
+		}
+		if !okLo {
+			stack = append(stack, lo)
+		}
+		if !okHi {
+			stack = append(stack, hi)
+		}
+	}
+
+	buf := make([]byte, 0, 16+7*len(order))
+	buf = append(buf, serializeMagic...)
+	buf = binary.AppendUvarint(buf, serializeVersion)
+	buf = binary.AppendUvarint(buf, uint64(m.numVars))
+	buf = binary.AppendUvarint(buf, uint64(len(order)))
+	for _, n := range order {
+		nd := m.nodeAt(n)
+		buf = binary.AppendUvarint(buf, uint64(nd.level))
+		buf = binary.AppendUvarint(buf, uint64(pos[nd.low&^1])<<1|uint64(nd.low&1))
+		buf = binary.AppendUvarint(buf, uint64(pos[nd.high&^1])<<1|uint64(nd.high&1))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(roots)))
+	for _, r := range roots {
+		buf = binary.AppendUvarint(buf, uint64(pos[r&^1])<<1|uint64(r&1))
+	}
+	return buf
+}
+
+// Import decodes an Export blob into m and returns the root handles,
+// re-canonicalized through the manager's hash-consing constructor: imported
+// functions unify with structurally identical nodes m already holds. It is
+// total over arbitrary input — malformed, truncated, or corrupt bytes
+// produce an error, never a panic or a non-canonical node.
+func (m *Manager) Import(data []byte) ([]Node, error) {
+	return m.ImportShifted(data, 0, 0)
+}
+
+// ImportShifted is Import with a monotone variable relocation: delta is
+// added to the level of every node whose stored level is ≥ from. The
+// pipeline uses it to rebase data-plane variables allocated with AddVars at
+// a different offset than in the exporting manager. Relocation must
+// preserve the variable order of the blob (checked per edge).
+func (m *Manager) ImportShifted(data []byte, from, delta int) ([]Node, error) {
+	d := decoder{data: data}
+	if len(data) < len(serializeMagic) || string(data[:len(serializeMagic)]) != serializeMagic {
+		return nil, fmt.Errorf("bdd: import: bad magic")
+	}
+	d.off = len(serializeMagic)
+	version, err := d.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != serializeVersion {
+		return nil, fmt.Errorf("bdd: import: unsupported format version %d", version)
+	}
+	storedVars, err := d.uvarint("numVars")
+	if err != nil {
+		return nil, err
+	}
+	if storedVars > math.MaxInt32 {
+		return nil, fmt.Errorf("bdd: import: numVars %d out of range", storedVars)
+	}
+	count, err := d.uvarint("node count")
+	if err != nil {
+		return nil, err
+	}
+	// Every record is at least 3 bytes; reject counts the blob cannot hold
+	// before allocating.
+	if count > uint64(len(data))/3 {
+		return nil, fmt.Errorf("bdd: import: node count %d exceeds blob size", count)
+	}
+
+	handles := make([]Node, count+1) // table ref -> handle in m; ref 0 = False
+	levels := make([]int32, count+1) // post-shift level per ref (for ordering checks)
+	levels[0] = maxLevel
+	for i := uint64(1); i <= count; i++ {
+		rawLevel, err := d.uvarint("level")
+		if err != nil {
+			return nil, err
+		}
+		if rawLevel >= storedVars {
+			return nil, fmt.Errorf("bdd: import: node %d level %d out of range [0,%d)", i, rawLevel, storedVars)
+		}
+		level := int64(rawLevel)
+		if from >= 0 && level >= int64(from) {
+			level += int64(delta)
+		}
+		if level < 0 || level >= int64(m.numVars) {
+			return nil, fmt.Errorf("bdd: import: node %d level %d outside manager range [0,%d)", i, level, m.numVars)
+		}
+		lowRef, lowC, err := d.ref("low", i, i)
+		if err != nil {
+			return nil, err
+		}
+		highRef, highC, err := d.ref("high", i, i)
+		if err != nil {
+			return nil, err
+		}
+		if highC != 0 {
+			return nil, fmt.Errorf("bdd: import: node %d has complemented high edge (non-canonical)", i)
+		}
+		if lowRef == highRef && lowC == 0 {
+			return nil, fmt.Errorf("bdd: import: node %d has identical children (non-canonical)", i)
+		}
+		// Children must sit strictly deeper in the variable order.
+		if levels[lowRef] <= int32(level) || levels[highRef] <= int32(level) {
+			return nil, fmt.Errorf("bdd: import: node %d violates variable ordering", i)
+		}
+		handles[i] = m.mk(int32(level), handles[lowRef]^Node(lowC), handles[highRef])
+		levels[i] = int32(level)
+	}
+
+	nroots, err := d.uvarint("root count")
+	if err != nil {
+		return nil, err
+	}
+	if nroots > uint64(len(data)) {
+		return nil, fmt.Errorf("bdd: import: root count %d exceeds blob size", nroots)
+	}
+	roots := make([]Node, nroots)
+	for i := range roots {
+		ref, c, err := d.ref("root", uint64(i), count+1)
+		if err != nil {
+			return nil, err
+		}
+		roots[i] = handles[ref] ^ Node(c)
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("bdd: import: %d trailing bytes", len(data)-d.off)
+	}
+	return roots, nil
+}
+
+// decoder reads bounded uvarints out of a blob without ever panicking.
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bdd: import: truncated %s at offset %d", what, d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+// ref reads an edge reference for the record at table position pos and
+// validates that it stays under limit (the number of already-decoded
+// entries for node records; count+1 for roots).
+func (d *decoder) ref(what string, pos, limit uint64) (uint64, uint64, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, 0, err
+	}
+	ref, c := v>>1, v&1
+	if ref >= limit {
+		return 0, 0, fmt.Errorf("bdd: import: entry %d %s edge references out-of-range entry %d", pos, what, ref)
+	}
+	return ref, c, nil
+}

@@ -8,11 +8,11 @@ import (
 	"sync"
 	"time"
 
-	"github.com/expresso-verify/expresso/internal/bdd"
 	"github.com/expresso-verify/expresso/internal/epvp"
 	"github.com/expresso-verify/expresso/internal/properties"
 	"github.com/expresso-verify/expresso/internal/route"
 	"github.com/expresso-verify/expresso/internal/spf"
+	"github.com/expresso-verify/expresso/internal/store"
 	"github.com/expresso-verify/expresso/internal/telemetry"
 )
 
@@ -77,6 +77,7 @@ const (
 	StatusHit  = "hit"  // artifact served from the stage cache
 	StatusMiss = "miss" // artifact computed cold
 	StatusWarm = "warm" // SRC only: computed, but seeded from a cached prior
+	StatusDisk = "disk" // artifact deserialized from the persistent store tier
 )
 
 // StageInfo is one stage's provenance: what ran, from where, how long.
@@ -136,7 +137,20 @@ const warmNodeBudget = 4 << 20
 // runs, including iteration counts).
 type Runner struct {
 	Cache *StageCache
+	// Store, when non-nil, is the persistent second tier under the stage
+	// cache: SRC, SPF, and analysis artifacts are written through to it
+	// and, on an in-memory miss, read back and deserialized into a fresh
+	// manager — so a cold process (or a second replica sharing the store
+	// directory) warm-starts from a previously converged state. Store
+	// traffic is keyed by the hash of the stage key and gated on the same
+	// text-born condition as the cache; failures degrade to recompute.
+	Store store.Tier
 }
+
+// diskKey is the store address of a stage key: stage keys embed '|'-joined
+// digest chains, so the store sees their hash (a content address of a
+// content address — collision-free for the same reason the keys are).
+func diskKey(key string) string { return hashHex(key) }
 
 // Run drives Load's downstream stages to an Outcome. req.Load must be
 // set; stages are cached and warm-started only when the load carries a
@@ -155,12 +169,13 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 		}
 	}
 	cacheable := r.Cache != nil && req.Load.Digest != ""
+	diskable := r.Store != nil && req.Load.Digest != ""
 	out := &Outcome{}
 
 	// --- SRC: the EPVP fixed point -------------------------------------
 	srcKey := SRCKey(req.Load.Digest, req.Mode)
 	start := time.Now()
-	src, info, err := r.resolveSRC(ctx, req, srcKey, cacheable)
+	src, info, err := r.resolveSRC(ctx, req, srcKey, cacheable, diskable)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +186,7 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 	// --- RoutingAnalysis -----------------------------------------------
 	routingKey := RoutingKey(src.Digest, routingProps, req.BTE)
 	start = time.Now()
-	routing, status, err := r.resolveAnalysis(ctx, StageRouting, routingKey, cacheable, src.Eng.Space.M, func() ([]properties.Violation, error) {
+	routing, status, err := r.resolveAnalysis(ctx, StageRouting, routingKey, cacheable, diskable, src, 0, func() ([]properties.Violation, error) {
 		var vs []properties.Violation
 		src.lock()
 		defer src.unlock()
@@ -211,6 +226,26 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 			status = StatusHit
 		}
 	}
+	if spfArt == nil && diskable {
+		if data, ok := r.Store.Get(StageSPF, diskKey(spfKey)); ok {
+			// Deserialization allocates the data-plane variable block and
+			// builds nodes in the shared SRC manager: serialize against its
+			// other users exactly like a computed SPF run.
+			src.lock()
+			art, derr := DecodeSPF(src.Eng, spfKey, data)
+			if derr == nil {
+				art.pinHandles(src.Eng.Space.M)
+			}
+			src.unlock()
+			if derr == nil {
+				spfArt = art
+				status = StatusDisk
+				if cacheable {
+					r.Cache.Add(StageSPF, spfKey, spfArt)
+				}
+			}
+		}
+	}
 	if spfArt == nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -236,6 +271,12 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 		if cacheable {
 			r.Cache.Add(StageSPF, spfKey, spfArt)
 		}
+		if diskable {
+			src.lock()
+			blob := EncodeSPF(spfArt, src.Eng.Space.M)
+			src.unlock()
+			r.Store.Put(StageSPF, diskKey(spfKey), blob)
+		}
 	}
 	out.SPF = spfArt
 	out.Stages = append(out.Stages, StageInfo{Stage: StageSPF, Status: status, Key: spfKey, Duration: time.Since(start)})
@@ -243,7 +284,7 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 	// --- ForwardingAnalysis --------------------------------------------
 	forwardingKey := ForwardingKey(spfArt.Digest, forwardingProps)
 	start = time.Now()
-	forwarding, status, err := r.resolveAnalysis(ctx, StageForwarding, forwardingKey, cacheable, src.Eng.Space.M, func() ([]properties.Violation, error) {
+	forwarding, status, err := r.resolveAnalysis(ctx, StageForwarding, forwardingKey, cacheable, diskable, src, spfArt.Res.VarBase(), func() ([]properties.Violation, error) {
 		var vs []properties.Violation
 		src.lock()
 		defer src.unlock()
@@ -272,9 +313,10 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 }
 
 // resolveSRC returns the SRC artifact for the request: cached when the
-// exact key is present, warm-started from a compatible cached prior when
-// one exists, cold otherwise.
-func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, cacheable bool) (*SRCArtifact, StageInfo, error) {
+// exact key is present, deserialized from the persistent tier when it
+// holds the key, warm-started from a compatible cached prior when one
+// exists, cold otherwise.
+func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, cacheable, diskable bool) (*SRCArtifact, StageInfo, error) {
 	info := StageInfo{Stage: StageSRC, Status: StatusMiss, Key: srcKey}
 	if cacheable {
 		if v, ok := r.Cache.Get(StageSRC, srcKey); ok {
@@ -287,7 +329,24 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 	}
 
 	var src *SRCArtifact
-	if cacheable {
+	// The persistent tier beats a warm start: it carries the exact
+	// converged fixed point for this key, so only the policy compilation
+	// (epvp.NewContext) is paid. A decode failure — corrupt blob, schema
+	// mismatch — falls through to recompute, reusing the compiled engine.
+	var eng *epvp.Engine
+	if diskable {
+		if data, ok := r.Store.Get(StageSRC, diskKey(srcKey)); ok {
+			var err error
+			if eng, err = epvp.NewContext(ctx, req.Load.Net, req.Mode); err != nil {
+				return nil, info, err
+			}
+			if decoded, err := DecodeSRC(eng, req.Load, srcKey, data); err == nil {
+				src = decoded
+				info.Status = StatusDisk
+			}
+		}
+	}
+	if src == nil && cacheable {
 		if prior := r.warmCandidate(req.Mode); prior != nil {
 			if eng, err := epvp.NewWarm(ctx, req.Load.Net, req.Mode, prior.Eng, UnchangedRouters(prior.Load, req.Load)); err == nil {
 				dirty := DirtyRouters(prior.Load, req.Load)
@@ -315,9 +374,13 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 		}
 	}
 	if src == nil {
-		eng, err := epvp.NewContext(ctx, req.Load.Net, req.Mode)
-		if err != nil {
-			return nil, info, err
+		// eng may be left over from a failed store decode; otherwise
+		// compile now.
+		if eng == nil {
+			var err error
+			if eng, err = epvp.NewContext(ctx, req.Load.Net, req.Mode); err != nil {
+				return nil, info, err
+			}
 		}
 		eng.Workers = req.Workers
 		eng.Trace = req.Trace
@@ -340,6 +403,14 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 	src.pinHandles()
 	if cacheable {
 		r.Cache.Add(StageSRC, srcKey, src)
+	}
+	// Write a freshly computed fixed point through to the persistent tier
+	// (a deserialized one is already there byte-for-byte).
+	if diskable && info.Status != StatusDisk {
+		src.lock()
+		blob := EncodeSRC(src)
+		src.unlock()
+		r.Store.Put(StageSRC, diskKey(srcKey), blob)
 	}
 	gcNote := "gc=skipped"
 	if reclaim(req.GC, src.Eng) {
@@ -370,12 +441,32 @@ func (r *Runner) warmCandidate(mode epvp.Mode) *SRCArtifact {
 }
 
 // resolveAnalysis is the shared cache-or-compute driver of the two
-// analysis stages. m is the BDD manager the violations' condition
-// predicates live in; the artifact pins them there.
-func (r *Runner) resolveAnalysis(ctx context.Context, stage, key string, cacheable bool, m *bdd.Manager, compute func() ([]properties.Violation, error)) (*AnalysisArtifact, string, error) {
+// analysis stages. The violations' condition predicates live in src's
+// prefix manager; the artifact pins them there. varBase is the data-plane
+// variable offset forwarding-stage conditions are built against (0 for the
+// routing stage) — the store codec relocates persisted predicates when the
+// offsets differ between processes.
+func (r *Runner) resolveAnalysis(ctx context.Context, stage, key string, cacheable, diskable bool, src *SRCArtifact, varBase int, compute func() ([]properties.Violation, error)) (*AnalysisArtifact, string, error) {
+	m := src.Eng.Space.M
 	if cacheable {
 		if v, ok := r.Cache.Get(stage, key); ok {
 			return v.(*AnalysisArtifact), StatusHit, nil
+		}
+	}
+	if diskable {
+		if data, ok := r.Store.Get(stage, diskKey(key)); ok {
+			src.lock()
+			art, err := DecodeAnalysis(m, key, varBase, data)
+			if err == nil {
+				art.pinHandles(m)
+			}
+			src.unlock()
+			if err == nil {
+				if cacheable {
+					r.Cache.Add(stage, key, art)
+				}
+				return art, StatusDisk, nil
+			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -389,6 +480,12 @@ func (r *Runner) resolveAnalysis(ctx context.Context, stage, key string, cacheab
 	art.pinHandles(m)
 	if cacheable {
 		r.Cache.Add(stage, key, art)
+	}
+	if diskable {
+		src.lock()
+		blob := EncodeAnalysis(art, m, varBase)
+		src.unlock()
+		r.Store.Put(stage, diskKey(key), blob)
 	}
 	return art, StatusMiss, nil
 }

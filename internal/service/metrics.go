@@ -104,8 +104,9 @@ func (m *Metrics) StageTotals() (expresso.Timing, int64) {
 
 // WriteText renders the counters in Prometheus text exposition format.
 // queueDepth, workers, and engineWorkers are point-in-time gauges supplied
-// by the server; cacheStats is the verifier's per-stage cache snapshot.
-func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int, cacheStats []expresso.StageCacheStat) {
+// by the server; cacheStats is the verifier's per-stage cache snapshot and
+// storeStats, when non-nil, the persistent artifact-store tier's counters.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int, cacheStats []expresso.StageCacheStat, storeStats *expresso.StoreStats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -179,5 +180,13 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int,
 			warms += st.WarmStarts
 		}
 		counter("expresso_warm_starts_total", "SRC computations warm-started from a cached fixed point.", warms)
+	}
+
+	if storeStats != nil {
+		counter("expresso_store_hits_total", "Artifact-store blobs served (corrupt blobs count as misses).", storeStats.Hits)
+		counter("expresso_store_misses_total", "Artifact-store lookups that missed.", storeStats.Misses)
+		counter("expresso_store_writes_total", "Artifact blobs written through to the store.", storeStats.Writes)
+		counter("expresso_store_write_bytes_total", "Bytes written to the artifact store (framed).", storeStats.WriteBytes)
+		counter("expresso_store_evictions_total", "Artifact blobs evicted by the store's size budget.", storeStats.Evictions)
 	}
 }

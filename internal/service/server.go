@@ -38,6 +38,14 @@ type Config struct {
 	// GC selects the post-SRC memory-reclamation policy for jobs
 	// (default GCAuto: reclaim only under heap pressure).
 	GC expresso.GCMode
+	// StoreDir, when non-empty, enables the persistent artifact store: a
+	// content-addressed on-disk tier shared across restarts and replicas
+	// (see expresso.VerifierConfig.StoreDir). Store traffic appears on
+	// /metrics as the expresso_store_* families and in job stage
+	// provenance as status "disk".
+	StoreDir string
+	// StoreBudget bounds the store directory in bytes (0 = unlimited).
+	StoreBudget int64
 	// JobTimeout is the default per-job deadline, measured from the
 	// moment a worker picks the job up (default: 5m; negative disables).
 	JobTimeout time.Duration
@@ -134,6 +142,8 @@ func New(cfg Config) *Server {
 			GC: cfg.GC,
 		}
 	}
+	vcfg.StoreDir = cfg.StoreDir
+	vcfg.StoreBudget = cfg.StoreBudget
 	s := &Server{
 		cfg:        cfg,
 		log:        cfg.Logger,
@@ -538,5 +548,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers, s.verifier.CacheStats())
+	var storeStats *expresso.StoreStats
+	if st, ok := s.verifier.StoreTraffic(); ok {
+		storeStats = &st
+	}
+	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers, s.verifier.CacheStats(), storeStats)
 }

@@ -384,6 +384,64 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStoreMetricsAndProvenance runs two daemons over one store
+// directory: the first populates it, the second (a fresh replica with
+// empty caches) must report `disk` provenance for SRC and expose the
+// expresso_store_* counter families on /metrics. A store-less server
+// must omit them.
+func TestStoreMetricsAndProvenance(t *testing.T) {
+	dir := t.TempDir()
+	req := VerifyRequest{Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true}
+
+	_, ts1 := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	if code, st := postVerify(t, ts1, req); code != http.StatusOK || st.State != JobDone {
+		t.Fatalf("first replica: code=%d state=%+v", code, st)
+	}
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, StoreDir: dir})
+	_, st := postVerify(t, ts2, req)
+	srcStatus := ""
+	for _, s := range st.Stages {
+		if s.Stage == "src" {
+			srcStatus = s.Status
+		}
+	}
+	if srcStatus != expresso.StageDisk {
+		t.Errorf("second replica SRC status = %q, want %q (stages %+v)", srcStatus, expresso.StageDisk, st.Stages)
+	}
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{
+		"expresso_store_hits_total",
+		"expresso_store_misses_total",
+		"expresso_store_writes_total 0",
+		"expresso_store_write_bytes_total 0",
+		"expresso_store_evictions_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n%s", want, text)
+		}
+	}
+
+	_, ts3 := newTestServer(t, Config{Workers: 1})
+	resp3, err := http.Get(ts3.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp3.Body.Close()
+	buf.Reset()
+	buf.ReadFrom(resp3.Body)
+	if strings.Contains(buf.String(), "expresso_store_") {
+		t.Error("store-less server exposes expresso_store_* families")
+	}
+}
+
 // TestJobStagesProvenance checks the API surfaces per-stage cache
 // provenance: the first run misses everywhere, a property-set change on
 // the same snapshot reuses the converged SRC artifact.

@@ -1,0 +1,360 @@
+// Package store implements the persistent artifact tier of the staged
+// verification pipeline: an on-disk, content-addressed blob store keyed by
+// the pipeline's chained stage digests. Because keys are content addresses,
+// a blob is immutable once written — any replica that computes the same
+// stage artifact writes the same key, so a directory shared between
+// processes (or surviving a restart) lets a cold process warm-start from
+// another's converged state.
+//
+// The package deliberately knows nothing about artifact shapes: it stores
+// opaque bytes under (stage, digest) keys behind the Tier interface, and
+// the pipeline's codecs decide what those bytes mean. This keeps the
+// dependency arrow pointing one way (pipeline imports store, never the
+// reverse) and lets a remote tier plug in later without touching codecs.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Tier is a content-addressed blob tier. Get returns (nil, false) on any
+// miss — including corrupt, truncated, or version-mismatched blobs: a tier
+// is a cache, and every failure mode must degrade to recompute rather than
+// surface an error. Put is best-effort; a failed write loses warmth, not
+// correctness.
+type Tier interface {
+	// Get returns the blob stored under (stage, digest), or ok=false.
+	Get(stage, digest string) (data []byte, ok bool)
+	// Put stores data under (stage, digest). Writes are atomic: a reader
+	// never observes a partial blob.
+	Put(stage, digest string, data []byte)
+	// Stats snapshots the tier's counters.
+	Stats() Stats
+}
+
+// Stats counts a tier's traffic. Hits and Misses count Get outcomes
+// (corrupt blobs count as misses), Writes and WriteBytes count completed
+// Puts, and Evictions counts blobs removed by the size budget.
+type Stats struct {
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Writes     int64 `json:"writes"`
+	WriteBytes int64 `json:"write_bytes"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// Blob framing (version 1): every blob is wrapped in a self-checking
+// envelope so a torn write, a bit flip, or a format bump reads as a miss.
+//
+//	magic   "XSTR" (4 bytes)
+//	version uint32 LE (currently 1)
+//	length  uint64 LE (payload bytes)
+//	crc     uint32 LE (IEEE CRC-32 of the payload)
+//	payload
+const (
+	frameMagic   = "XSTR"
+	frameVersion = 1
+	frameHeader  = 4 + 4 + 8 + 4
+)
+
+// Frame wraps payload in the store envelope.
+func Frame(payload []byte) []byte {
+	buf := make([]byte, frameHeader, frameHeader+len(payload))
+	copy(buf, frameMagic)
+	binary.LittleEndian.PutUint32(buf[4:], frameVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[16:], crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// Unframe validates the envelope and returns the payload, or ok=false for
+// anything malformed: wrong magic, unknown version, truncation, trailing
+// bytes, or a CRC mismatch.
+func Unframe(blob []byte) ([]byte, bool) {
+	if len(blob) < frameHeader || string(blob[:4]) != frameMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(blob[4:]) != frameVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(blob[8:])
+	if n != uint64(len(blob)-frameHeader) {
+		return nil, false
+	}
+	payload := blob[frameHeader:]
+	if binary.LittleEndian.Uint32(blob[16:]) != crc32.ChecksumIEEE(payload) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Disk is a Tier backed by a directory. Blobs live at
+// <dir>/<stage>/<digest>.blob; writes go to a *.tmp file first and are
+// renamed into place, so concurrent readers (including other processes
+// sharing the directory) never see a partial blob. A byte budget evicts
+// least-recently-used blobs; access order is tracked in-process and seeded
+// from file modification times at startup.
+type Disk struct {
+	dir    string
+	budget int64 // max total payload bytes; 0 = unlimited
+
+	mu    sync.Mutex
+	size  int64
+	clock int64
+	blobs map[string]*diskBlob // keyed by stage/digest
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	writes     atomic.Int64
+	writeBytes atomic.Int64
+	evictions  atomic.Int64
+	tmpSwept   int
+}
+
+type diskBlob struct {
+	path string
+	size int64
+	used int64 // LRU clock at last touch
+}
+
+const blobExt = ".blob"
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir with the
+// given byte budget (0 = unlimited). It sweeps orphaned *.tmp files left by
+// a crash mid-write and indexes existing blobs for eviction accounting,
+// evicting immediately if the directory already exceeds the budget.
+func OpenDisk(dir string, budget int64) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	d := &Disk{dir: dir, budget: budget, blobs: map[string]*diskBlob{}}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	type seed struct {
+		key  string
+		blob *diskBlob
+		mod  int64
+	}
+	var seeds []seed
+	for _, e := range entries {
+		if !e.IsDir() {
+			// A crashed writer can only leave *.tmp at the top level if the
+			// stage directory itself was being created; sweep those too.
+			if strings.HasSuffix(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(dir, e.Name()))
+				d.tmpSwept++
+			}
+			continue
+		}
+		stage := e.Name()
+		files, err := os.ReadDir(filepath.Join(dir, stage))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			path := filepath.Join(dir, stage, f.Name())
+			if strings.HasSuffix(f.Name(), ".tmp") {
+				os.Remove(path)
+				d.tmpSwept++
+				continue
+			}
+			if !strings.HasSuffix(f.Name(), blobExt) {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			digest := strings.TrimSuffix(f.Name(), blobExt)
+			seeds = append(seeds, seed{
+				key:  stage + "/" + digest,
+				blob: &diskBlob{path: path, size: info.Size()},
+				mod:  info.ModTime().UnixNano(),
+			})
+		}
+	}
+	// Seed LRU order from modification times: oldest file gets the lowest
+	// clock, so pre-existing cold blobs evict first.
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].mod < seeds[j].mod })
+	for _, s := range seeds {
+		d.clock++
+		s.blob.used = d.clock
+		d.blobs[s.key] = s.blob
+		d.size += s.blob.size
+	}
+	d.mu.Lock()
+	d.evictLocked()
+	d.mu.Unlock()
+	return d, nil
+}
+
+// Dir returns the tier's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// TmpSwept reports how many orphaned *.tmp files the startup sweep removed.
+func (d *Disk) TmpSwept() int { return d.tmpSwept }
+
+// Len reports the number of indexed blobs.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.blobs)
+}
+
+func (d *Disk) path(stage, digest string) string {
+	return filepath.Join(d.dir, stage, digest+blobExt)
+}
+
+// Get reads the blob under (stage, digest). Corrupt or truncated blobs are
+// deleted and reported as a miss. A blob written by another process after
+// this tier was opened is still found (the index is refreshed on demand).
+func (d *Disk) Get(stage, digest string) ([]byte, bool) {
+	if !validKey(stage) || !validKey(digest) {
+		d.misses.Add(1)
+		return nil, false
+	}
+	path := d.path(stage, digest)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := Unframe(blob)
+	if !ok {
+		// Corrupt: remove so the slot is rewritten by the recompute.
+		d.remove(stage, digest)
+		d.misses.Add(1)
+		return nil, false
+	}
+	d.touch(stage, digest, int64(len(blob)))
+	d.hits.Add(1)
+	return payload, true
+}
+
+// Put frames and writes the blob, atomically replacing any existing file.
+// Errors are swallowed: persistence is best-effort.
+func (d *Disk) Put(stage, digest string, data []byte) {
+	if !validKey(stage) || !validKey(digest) {
+		return
+	}
+	framed := Frame(data)
+	dir := filepath.Join(d.dir, stage)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, digest+".*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(framed)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(stage, digest)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	d.writes.Add(1)
+	d.writeBytes.Add(int64(len(framed)))
+
+	d.mu.Lock()
+	key := stage + "/" + digest
+	if old, ok := d.blobs[key]; ok {
+		d.size -= old.size
+	}
+	d.clock++
+	d.blobs[key] = &diskBlob{path: d.path(stage, digest), size: int64(len(framed)), used: d.clock}
+	d.size += int64(len(framed))
+	d.evictLocked()
+	d.mu.Unlock()
+}
+
+// touch refreshes the LRU position of a blob, indexing it if it was written
+// by another process after this tier opened.
+func (d *Disk) touch(stage, digest string, size int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := stage + "/" + digest
+	b, ok := d.blobs[key]
+	if !ok {
+		b = &diskBlob{path: d.path(stage, digest), size: size}
+		d.blobs[key] = b
+		d.size += size
+	}
+	d.clock++
+	b.used = d.clock
+}
+
+func (d *Disk) remove(stage, digest string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := stage + "/" + digest
+	if b, ok := d.blobs[key]; ok {
+		d.size -= b.size
+		delete(d.blobs, key)
+	}
+	os.Remove(d.path(stage, digest))
+}
+
+// evictLocked removes least-recently-used blobs until the byte budget
+// holds. Caller holds d.mu.
+func (d *Disk) evictLocked() {
+	if d.budget <= 0 {
+		return
+	}
+	for d.size > d.budget && len(d.blobs) > 1 {
+		var victim string
+		var oldest int64 = 1<<63 - 1
+		for k, b := range d.blobs {
+			if b.used < oldest {
+				oldest = b.used
+				victim = k
+			}
+		}
+		b := d.blobs[victim]
+		d.size -= b.size
+		delete(d.blobs, victim)
+		os.Remove(b.path)
+		d.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the tier's counters.
+func (d *Disk) Stats() Stats {
+	return Stats{
+		Hits:       d.hits.Load(),
+		Misses:     d.misses.Load(),
+		Writes:     d.writes.Load(),
+		WriteBytes: d.writeBytes.Load(),
+		Evictions:  d.evictions.Load(),
+	}
+}
+
+// validKey rejects anything that could escape the store directory. Stage
+// names and digests are lowercase hex and short identifiers in practice.
+func validKey(s string) bool {
+	if s == "" || len(s) > 200 {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(s, ".")
+}

@@ -1,0 +1,191 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const digestA = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+const digestB = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+const digestC = "cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc"
+
+func open(t *testing.T, dir string, budget int64) *Disk {
+	t.Helper()
+	d, err := OpenDisk(dir, budget)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	return d
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello artifact")
+	framed := Frame(payload)
+	got, ok := Unframe(framed)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip failed: ok=%v got=%q", ok, got)
+	}
+	if _, ok := Unframe(framed[:len(framed)-1]); ok {
+		t.Fatal("truncated frame accepted")
+	}
+	for i := range framed {
+		mut := append([]byte(nil), framed...)
+		mut[i] ^= 1
+		if _, ok := Unframe(mut); ok {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestDiskPutGet(t *testing.T) {
+	d := open(t, t.TempDir(), 0)
+	if _, ok := d.Get("src", digestA); ok {
+		t.Fatal("empty store served a blob")
+	}
+	d.Put("src", digestA, []byte("payload-1"))
+	got, ok := d.Get("src", digestA)
+	if !ok || string(got) != "payload-1" {
+		t.Fatalf("Get after Put: ok=%v got=%q", ok, got)
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDiskSharedBetweenInstances is the replica scenario: a second Disk
+// over the same directory serves blobs the first one wrote.
+func TestDiskSharedBetweenInstances(t *testing.T) {
+	dir := t.TempDir()
+	d1 := open(t, dir, 0)
+	d1.Put("spf", digestA, []byte("converged"))
+
+	d2 := open(t, dir, 0)
+	got, ok := d2.Get("spf", digestA)
+	if !ok || string(got) != "converged" {
+		t.Fatalf("second instance missed: ok=%v got=%q", ok, got)
+	}
+	// And a blob written by d2 after d1 opened is still found by d1.
+	d2.Put("spf", digestB, []byte("later"))
+	if _, ok := d1.Get("spf", digestB); !ok {
+		t.Fatal("first instance missed a blob written after it opened")
+	}
+}
+
+func TestDiskCorruptBlobIsMissAndDeleted(t *testing.T) {
+	dir := t.TempDir()
+	d := open(t, dir, 0)
+	d.Put("src", digestA, []byte("good bytes"))
+	path := filepath.Join(dir, "src", digestA+".blob")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read blob: %v", err)
+	}
+	blob[len(blob)-3] ^= 0x10 // flip a payload bit
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatalf("write corrupt blob: %v", err)
+	}
+	if _, ok := d.Get("src", digestA); ok {
+		t.Fatal("corrupt blob served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt blob not deleted")
+	}
+	// The slot is reusable.
+	d.Put("src", digestA, []byte("fresh"))
+	if got, ok := d.Get("src", digestA); !ok || string(got) != "fresh" {
+		t.Fatal("rewrite after corruption failed")
+	}
+}
+
+// TestDiskTmpSweep plants orphaned *.tmp files (a crash mid-write) and
+// asserts the startup sweep removes them and they are never served.
+func TestDiskTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "src"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "src", digestA+".12345.tmp")
+	if err := os.WriteFile(orphan, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topOrphan := filepath.Join(dir, "stray.tmp")
+	if err := os.WriteFile(topOrphan, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := open(t, dir, 0)
+	if d.TmpSwept() != 2 {
+		t.Fatalf("TmpSwept = %d, want 2", d.TmpSwept())
+	}
+	for _, p := range []string{orphan, topOrphan} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep", p)
+		}
+	}
+	if _, ok := d.Get("src", digestA); ok {
+		t.Fatal("orphaned tmp content served")
+	}
+}
+
+func TestDiskEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	// Budget fits two framed blobs but not three.
+	d := open(t, dir, int64(2*(len(payload)+frameHeader)))
+	d.Put("src", digestA, payload)
+	d.Put("src", digestB, payload)
+	// Touch A so B is the LRU victim when C arrives.
+	if _, ok := d.Get("src", digestA); !ok {
+		t.Fatal("A missing before eviction")
+	}
+	d.Put("src", digestC, payload)
+	if d.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", d.Stats().Evictions)
+	}
+	if _, ok := d.Get("src", digestB); ok {
+		t.Fatal("LRU victim still served")
+	}
+	for _, dg := range []string{digestA, digestC} {
+		if _, ok := d.Get("src", dg); !ok {
+			t.Fatalf("%s evicted, want kept", dg[:4])
+		}
+	}
+	// Reopening indexes survivors and stays within budget.
+	d2 := open(t, dir, int64(2*(len(payload)+frameHeader)))
+	if n := d2.Len(); n != 2 {
+		t.Fatalf("reopened store indexes %d blobs, want 2", n)
+	}
+}
+
+// TestDiskEvictionOnOpen: a budget smaller than the existing directory
+// contents evicts oldest-first at startup.
+func TestDiskEvictionOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("y"), 100)
+	d := open(t, dir, 0)
+	d.Put("src", digestA, payload)
+	d.Put("src", digestB, payload)
+	d.Put("src", digestC, payload)
+
+	d2 := open(t, dir, int64(len(payload)+frameHeader))
+	if d2.Len() != 1 {
+		t.Fatalf("after budgeted reopen: %d blobs, want 1", d2.Len())
+	}
+}
+
+func TestDiskRejectsHostileKeys(t *testing.T) {
+	d := open(t, t.TempDir(), 0)
+	for _, k := range []string{"", "../escape", "a/b", ".hidden", strings.Repeat("x", 300)} {
+		d.Put(k, digestA, []byte("x"))
+		d.Put("src", k, []byte("x"))
+		if _, ok := d.Get(k, digestA); ok {
+			t.Fatalf("hostile stage %q served", k)
+		}
+		if _, ok := d.Get("src", k); ok {
+			t.Fatalf("hostile digest %q served", k)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+# Turns `go test -bench` output for the PR-6 artifact-store benchmarks —
+# the region-1 worker sweep plus the store cold/disk-warm/mem-warm trio —
+# into BENCH_pr6.json (see `make bench-workers` and `make bench-store`).
+# Pass the machine's core count with -v cores=$(nproc) so the recorded
+# numbers say whether the worker sweep had real parallelism behind it.
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && NF >= 7 {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+	ns[name] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	cold = "BenchmarkStoreRegion1Cold"
+	disk = "BenchmarkStoreRegion1DiskWarm"
+	mem = "BenchmarkStoreRegion1MemWarm"
+	printf "{\n"
+	printf "  \"pr\": 6,\n"
+	printf "  \"benchmark\": \"persistent artifact store on CSP region1 (leak+hijack+traffic): scratch vs disk-warm vs mem-warm, plus the engine worker sweep\",\n"
+	printf "  \"command\": \"make bench-workers\",\n"
+	printf "  \"environment\": { \"cpu\": \"%s\", \"cores\": %s,\n", cpu, (cores ? cores : 0)
+	printf "    \"note\": \"worker speedups need real cores; on a 1-core box the workers=2/4 rows price coordination overhead, not parallelism\" },\n"
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }%s\n", \
+			name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+	}
+	printf "  ]"
+	if ((cold in ns) && (disk in ns) && ns[disk] > 0) {
+		printf ",\n  \"cold_over_disk_warm_speedup\": %.2f", ns[cold] / ns[disk]
+	}
+	if ((disk in ns) && (mem in ns) && ns[mem] > 0) {
+		printf ",\n  \"disk_warm_over_mem_warm_slowdown\": %.2f", ns[disk] / ns[mem]
+	}
+	printf "\n}\n"
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/expresso-verify/expresso/internal/pipeline"
+	"github.com/expresso-verify/expresso/internal/store"
 )
 
 // StageInfo re-exports the pipeline's per-stage provenance record: which
@@ -20,7 +21,13 @@ const (
 	StageHit  = pipeline.StatusHit
 	StageMiss = pipeline.StatusMiss
 	StageWarm = pipeline.StatusWarm
+	// StageDisk marks an artifact deserialized from the persistent store
+	// tier (see VerifierConfig.StoreDir) rather than recomputed.
+	StageDisk = pipeline.StatusDisk
 )
+
+// StoreStats re-exports the persistent tier's traffic counters.
+type StoreStats = store.Stats
 
 // VerifierConfig sizes a Verifier's per-stage caches. Zero fields take
 // the pipeline defaults; negative values disable that stage's cache.
@@ -44,6 +51,17 @@ type VerifierConfig struct {
 	// GC is the default post-SRC reclamation policy for requests whose
 	// Options.GC is GCAuto.
 	GC GCMode
+	// StoreDir, when non-empty, enables the persistent artifact store: an
+	// on-disk content-addressed tier under the stage caches. SRC, SPF, and
+	// analysis artifacts are written through to it and read back on a
+	// miss, so a restarted process — or a second replica sharing the
+	// directory — serves warm verifications without recomputing the fixed
+	// point. A directory that cannot be opened disables the tier silently
+	// (persistence is best-effort by design; use Store to check).
+	StoreDir string
+	// StoreBudget bounds the store directory's size in bytes;
+	// least-recently-used blobs are evicted past it. 0 means unlimited.
+	StoreBudget int64
 }
 
 // Verifier runs text-submitted verifications through the staged pipeline
@@ -62,12 +80,14 @@ type VerifierConfig struct {
 // state is serialized per SRC artifact.
 type Verifier struct {
 	cache *pipeline.StageCache
+	store store.Tier
 	gc    GCMode
 }
 
-// NewVerifier builds a Verifier with the configured cache capacities.
+// NewVerifier builds a Verifier with the configured cache capacities and,
+// when cfg.StoreDir is set, the persistent store tier.
 func NewVerifier(cfg VerifierConfig) *Verifier {
-	return &Verifier{
+	v := &Verifier{
 		cache: pipeline.NewStageCache(pipeline.Capacities{
 			Load:       cfg.LoadCache,
 			SRC:        cfg.SRCCache,
@@ -78,7 +98,21 @@ func NewVerifier(cfg VerifierConfig) *Verifier {
 		}),
 		gc: cfg.GC,
 	}
+	if cfg.StoreDir != "" {
+		if d, err := store.OpenDisk(cfg.StoreDir, cfg.StoreBudget); err == nil {
+			v.store = d
+		}
+	}
+	return v
 }
+
+// Store returns the persistent tier, or nil when none is attached (no
+// StoreDir configured, or the directory could not be opened).
+func (v *Verifier) Store() store.Tier { return v.store }
+
+// SetStore attaches (or, with nil, detaches) a persistent tier; tests and
+// embedders use it to supply a custom Tier implementation.
+func (v *Verifier) SetStore(t store.Tier) { v.store = t }
 
 // RunInfo describes how a VerifyText call was answered: the request
 // digest, whether the whole report came from cache, and the per-stage
@@ -131,7 +165,7 @@ func (v *Verifier) VerifyText(ctx context.Context, configText string, opts Optio
 	}
 	info.Stages = append(info.Stages, loadInfo)
 
-	runner := &pipeline.Runner{Cache: v.cache}
+	runner := &pipeline.Runner{Cache: v.cache, Store: v.store}
 	req := opts.request(load)
 	if req.GC == GCAuto {
 		req.GC = v.gc
@@ -201,4 +235,13 @@ func (v *Verifier) CachedReports() int {
 // order (the service exports them on /metrics).
 func (v *Verifier) CacheStats() []StageCacheStat {
 	return v.cache.Stats()
+}
+
+// StoreTraffic snapshots the persistent tier's counters; ok is false when
+// no store is attached (the service omits the metric families then).
+func (v *Verifier) StoreTraffic() (StoreStats, bool) {
+	if v.store == nil {
+		return StoreStats{}, false
+	}
+	return v.store.Stats(), true
 }

@@ -10,9 +10,9 @@ GO ?= go
 # engine under the race detector.
 RACE_WORKERS ?= 4
 
-.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd bench-store bench-workers store-check alloc-guard
+.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd bench-store bench-workers bench-delta store-check gate-check alloc-guard
 
-ci: vet staticcheck build race race-parallel store-check alloc-guard
+ci: vet staticcheck build race race-parallel store-check gate-check alloc-guard
 
 vet:
 	$(GO) vet ./...
@@ -124,6 +124,23 @@ bench-workers:
 		-benchmem -benchtime=3x | tee -a /tmp/bench_pr6.out
 	awk -v cores=$$(nproc) -f scripts/bench_store.awk /tmp/bench_pr6.out > BENCH_pr6.json
 	@cat BENCH_pr6.json
+
+# The PR-8 recorded numbers: the cold region-1 run vs the baseline-delta
+# path (a one-router patch verified against a registered, pinned
+# baseline) vs a burst of 8 superseding deltas absorbed by the coalescing
+# queue. Records all three into BENCH_pr8.json; the delta path must come
+# out well ahead of cold (the acceptance bar is 2x).
+bench-delta:
+	$(GO) test . -run XXX -bench 'BenchmarkVerifyRegion1$$|BenchmarkDeltaRegion1(Baseline|CoalescedBurst)$$' \
+		-benchmem -benchtime=3x | tee /tmp/bench_delta.out
+	awk -f scripts/bench_delta.awk /tmp/bench_delta.out > BENCH_pr8.json
+	@cat BENCH_pr8.json
+
+# CI gate semantics: `expresso gate` exit codes (no change and fixed
+# violations pass, new violations fail) plus the baseline/delta
+# byte-identity acceptance tests behind them.
+gate-check:
+	$(GO) test . -run 'TestGate|TestBaseline' -count=1
 
 # Allocation-regression guard: one cold region-1 verification must stay
 # under the byte ceiling in alloc_guard_test.go. The test skips itself

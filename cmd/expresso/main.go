@@ -6,6 +6,8 @@
 //	expresso check -file net.cfg [-props leak,hijack,traffic] [-bte 11537:888] [-minus] [-json] [-trace out.json]
 //	expresso check -dir configs/
 //	expresso stats -file net.cfg
+//	expresso gate [-props ...] [-json] old.cfg new.cfg
+//	expresso store gc -dir /var/cache/expresso [-dry-run]
 //	expresso gen -dataset full-old -out configs/
 //	expresso serve -addr :8080 [-workers N] [-engine-workers M] [-queue N] [-cache N] [-timeout 5m]
 //	               [-trace] [-debug-addr localhost:6060] [-log-format text|json]
@@ -32,8 +34,10 @@ import (
 	"github.com/expresso-verify/expresso"
 	"github.com/expresso-verify/expresso/internal/epvp"
 	"github.com/expresso-verify/expresso/internal/netgen"
+	"github.com/expresso-verify/expresso/internal/pipeline"
 	"github.com/expresso-verify/expresso/internal/route"
 	"github.com/expresso-verify/expresso/internal/service"
+	"github.com/expresso-verify/expresso/internal/store"
 	"github.com/expresso-verify/expresso/internal/symbolic"
 	"github.com/expresso-verify/expresso/internal/telemetry"
 )
@@ -47,6 +51,10 @@ func main() {
 		cmdCheck(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "gate":
+		cmdGate(os.Args[2:])
+	case "store":
+		cmdStore(os.Args[2:])
 	case "gen":
 		cmdGen(os.Args[2:])
 	case "search-policy":
@@ -59,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: expresso check|stats|gen|search-policy|serve [flags]")
+	fmt.Fprintln(os.Stderr, "usage: expresso check|stats|gate|store|gen|search-policy|serve [flags]")
 	os.Exit(2)
 }
 
@@ -219,12 +227,22 @@ func cmdCheck(args []string) {
 	}
 	if info != nil {
 		fmt.Printf("digest:  %s\n", info.Digest)
+		fmt.Printf("  %-20s %-4s %-12s %-10s %s\n", "STAGE", "STAT", "SEED", "DURATION", "KEY")
 		for _, st := range info.Stages {
 			key := st.Key
 			if len(key) > 48 {
 				key = key[:48] + "…"
 			}
-			line := fmt.Sprintf("  %-20s %-4s %-10v %s", st.Stage, st.Status, st.Duration.Round(time.Microsecond), key)
+			// SEED is the digest of the fixed point a warm start grew from
+			// (the baseline's SRC digest on a baseline-anchored run).
+			seed := st.Seed
+			if len(seed) > 12 {
+				seed = seed[:12]
+			}
+			if seed == "" {
+				seed = "-"
+			}
+			line := fmt.Sprintf("  %-20s %-4s %-12s %-10v %s", st.Stage, st.Status, seed, st.Duration.Round(time.Microsecond), key)
 			if st.Note != "" {
 				line += "  (" + st.Note + ")"
 			}
@@ -256,6 +274,172 @@ func cmdCheck(args []string) {
 		}
 	}
 	os.Exit(1)
+}
+
+// loadConfigPath loads a configuration tree from a path that may be a
+// single file or a directory of *.cfg files.
+func loadConfigPath(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	if fi.IsDir() {
+		paths, err := filepath.Glob(filepath.Join(path, "*.cfg"))
+		if err != nil {
+			return "", err
+		}
+		sort.Strings(paths)
+		var b strings.Builder
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return "", err
+			}
+			b.Write(data)
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// cmdGate diffs two configuration trees and verifies the new one as a
+// delta against the old: the CI pre-merge check. Exit status encodes the
+// verdict — 0 when the change introduces no new violations (pre-existing
+// and fixed violations both pass), 1 on any new violation, 2 on
+// operational errors (unreadable or unparsable configs, bad flags).
+func cmdGate(args []string) {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	props := fs.String("props", "leak,hijack,traffic", "comma-separated properties: leak,hijack,traffic,blackhole,loop,bte")
+	bte := fs.String("bte", "", "community for the bte property, e.g. 11537:888")
+	minus := fs.Bool("minus", false, "run Expresso- (concrete AS paths)")
+	workers := fs.Int("workers", 0, "engine worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	asJSON := fs.Bool("json", false, "print the full GateResult as JSON")
+	verbose := fs.Bool("v", false, "also list fixed and unchanged violations")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: expresso gate [flags] OLD NEW  (each a config file or a directory of *.cfg files)")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	opts := expresso.Options{Workers: *workers}
+	if *minus {
+		opts.Mode = expresso.ExpressoMinusMode()
+	}
+	for _, p := range strings.Split(*props, ",") {
+		if strings.TrimSpace(p) == "" {
+			continue
+		}
+		k, err := expresso.ParseProperty(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Properties = append(opts.Properties, k)
+	}
+	if *bte != "" {
+		c, err := route.ParseCommunity(*bte)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+			os.Exit(2)
+		}
+		opts.BTE = c
+	}
+
+	oldText, err := loadConfigPath(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+		os.Exit(2)
+	}
+	newText, err := loadConfigPath(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := expresso.Gate(context.Background(), oldText, newText, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+		os.Exit(res.ExitCode())
+	}
+
+	fmt.Printf("old:     %s\n", res.OldDigest)
+	fmt.Printf("new:     %s\n", res.NewDigest)
+	fmt.Printf("patch:   %d section edit(s) across %d router(s)\n",
+		len(res.Patch.Ops), len(res.Patch.Routers()))
+	fmt.Printf("result:  %d new, %d fixed, %d unchanged violation(s)\n",
+		len(res.New), len(res.Fixed), len(res.Unchanged))
+	for _, v := range res.New {
+		fmt.Printf("  NEW       %s\n", v)
+	}
+	if *verbose {
+		for _, v := range res.Fixed {
+			fmt.Printf("  FIXED     %s\n", v)
+		}
+		for _, v := range res.Unchanged {
+			fmt.Printf("  UNCHANGED %s\n", v)
+		}
+	}
+	if res.HasNewViolations() {
+		fmt.Println("gate:    FAIL (change introduces new violations)")
+	} else {
+		fmt.Println("gate:    PASS")
+	}
+	os.Exit(res.ExitCode())
+}
+
+// cmdStore administers a persistent artifact-store directory. The one
+// verb so far is gc: prune every blob no registered baseline's manifest
+// references.
+func cmdStore(args []string) {
+	if len(args) < 1 || args[0] != "gc" {
+		fmt.Fprintln(os.Stderr, "usage: expresso store gc -dir DIR [-dry-run]")
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("store gc", flag.ExitOnError)
+	dir := fs.String("dir", "", "artifact store directory (required)")
+	dryRun := fs.Bool("dry-run", false, "report what would be pruned without deleting anything")
+	verbose := fs.Bool("v", false, "list every kept and pruned blob")
+	fs.Parse(args[1:])
+	if *dir == "" {
+		fatalf("store gc: -dir is required")
+	}
+	d, err := store.OpenDisk(*dir, 0)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res := pipeline.GCStore(d, *dryRun)
+	verb := "pruned"
+	if *dryRun {
+		verb = "would prune"
+	}
+	fmt.Printf("baselines: %d manifest(s) rooting %d blob(s)\n", res.Baselines, len(res.Kept))
+	fmt.Printf("%s:    %d blob(s), %d bytes\n", verb, len(res.Pruned), res.PrunedBytes)
+	if *verbose {
+		for _, k := range res.Kept {
+			fmt.Printf("  keep  %s/%s (%d bytes)\n", k.Stage, k.Digest, k.Size)
+		}
+		for _, k := range res.Pruned {
+			fmt.Printf("  prune %s/%s (%d bytes)\n", k.Stage, k.Digest, k.Size)
+		}
+	}
 }
 
 func cmdStats(args []string) {

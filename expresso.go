@@ -316,7 +316,7 @@ func (n *Network) VerifyContext(ctx context.Context, opts Options) (*Report, err
 // trace spans (nil-tracer safe).
 func traceStages(tr *Tracer, stages []StageInfo) {
 	for _, st := range stages {
-		tr.Span(st.Stage, st.Status, st.Key, st.Note, st.Duration)
+		tr.Span(st.Stage, st.Status, st.Key, st.Seed, st.Note, st.Duration)
 	}
 }
 

@@ -1,0 +1,87 @@
+package expresso
+
+import (
+	"context"
+	"testing"
+
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+// TestGateExitCodes is the golden contract of `expresso gate`: a change
+// introducing no new violations exits 0 — both a no-op change and one
+// that fixes a pre-existing violation — while a change introducing a new
+// violation exits nonzero. Figure 4 carries one route-leak violation;
+// Figure4Fixed repairs it.
+func TestGateExitCodes(t *testing.T) {
+	ctx := context.Background()
+	opts := Options{Workers: 1}
+	cases := []struct {
+		name          string
+		old, new      string
+		wantExit      int
+		wantNew       bool
+		wantFixed     bool
+		wantUnchanged bool
+	}{
+		{"no-change", testnet.Figure4Fixed, testnet.Figure4Fixed, 0, false, false, false},
+		{"fixes-violation", testnet.Figure4, testnet.Figure4Fixed, 0, false, true, false},
+		{"new-violation", testnet.Figure4Fixed, testnet.Figure4, 1, true, false, false},
+		{"violation-persists", testnet.Figure4, testnet.Figure4, 0, false, false, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Gate(ctx, tc.old, tc.new, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.ExitCode(); got != tc.wantExit {
+				t.Errorf("ExitCode() = %d, want %d (new=%v fixed=%v unchanged=%v)",
+					got, tc.wantExit, res.New, res.Fixed, res.Unchanged)
+			}
+			if got := len(res.New) > 0; got != tc.wantNew {
+				t.Errorf("len(New) > 0 = %v, want %v: %v", got, tc.wantNew, res.New)
+			}
+			if got := len(res.Fixed) > 0; got != tc.wantFixed {
+				t.Errorf("len(Fixed) > 0 = %v, want %v: %v", got, tc.wantFixed, res.Fixed)
+			}
+			if got := len(res.Unchanged) > 0; got != tc.wantUnchanged {
+				t.Errorf("len(Unchanged) > 0 = %v, want %v: %v", got, tc.wantUnchanged, res.Unchanged)
+			}
+			if res.HasNewViolations() != (tc.wantExit != 0) {
+				t.Errorf("HasNewViolations() = %v inconsistent with exit %d",
+					res.HasNewViolations(), tc.wantExit)
+			}
+			if tc.old == tc.new && !res.Patch.Empty() {
+				t.Errorf("identical trees diffed to a non-empty patch: %+v", res.Patch)
+			}
+			if res.OldReport == nil || res.NewReport == nil {
+				t.Error("GateResult is missing a full report")
+			}
+		})
+	}
+}
+
+// TestGateSeparatesNewFromInherited checks the partition itself on a
+// change that both keeps an old violation and could not have introduced
+// it: gating Figure 4 against a cosmetically-edited copy must classify
+// the leak as unchanged, never as new.
+func TestGateSeparatesNewFromInherited(t *testing.T) {
+	ctx := context.Background()
+	res, err := Gate(ctx, testnet.Figure4, testnet.Figure4+"\n// trailing comment\n", Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Patch.Empty() {
+		t.Errorf("comment-only edit diffed to a non-empty patch: %+v", res.Patch)
+	}
+	if len(res.New) != 0 || len(res.Fixed) != 0 {
+		t.Errorf("cosmetic edit classified as new=%v fixed=%v", res.New, res.Fixed)
+	}
+	if len(res.Unchanged) == 0 {
+		t.Error("pre-existing violation vanished from the partition")
+	}
+	if res.ExitCode() != 0 {
+		t.Errorf("ExitCode() = %d for a cosmetic edit, want 0", res.ExitCode())
+	}
+}

@@ -1,0 +1,237 @@
+// Config-tree diff/patch: the canonical delta representation of the
+// baseline/delta request model. A configuration text is viewed as an
+// ordered tree of sections — a preamble (lines before the first "router"
+// directive, keyed "") followed by one section per router — and a Patch
+// is the minimal per-section edit script between two such trees. Patches
+// are what the service accepts against a named baseline (POST /v1/jobs
+// with {baseline, patch}) and what `expresso gate` computes between two
+// config trees.
+//
+// Diff compares sections under the same canonicalization the digest layer
+// uses (comments, blank lines, and whitespace runs are insignificant), so
+// a cosmetic edit produces an empty patch, and ApplyPatch(old, Diff(old,
+// new)) is canonically equivalent to new whenever new preserves old's
+// section order. Reordering sections without changing their content also
+// yields an empty patch: parsing is per-router, so section order never
+// changes verification semantics.
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Patch op kinds. SetOp replaces (or introduces) a section's full text;
+// DeleteOp removes the section.
+const (
+	SetOp    = "set"
+	DeleteOp = "delete"
+)
+
+// PatchOp is one section edit. Router "" addresses the preamble (lines
+// before the first router section). For SetOp, Config carries the
+// section's complete replacement text, including its "router NAME" line
+// for router sections; for DeleteOp, Config is empty.
+type PatchOp struct {
+	Op     string `json:"op"`
+	Router string `json:"router"`
+	Config string `json:"config,omitempty"`
+}
+
+// Patch is an ordered edit script between two config trees. Deletes come
+// first, then sets in the new tree's section order; ApplyPatch applies
+// ops in sequence.
+type Patch struct {
+	Ops []PatchOp `json:"ops"`
+}
+
+// Empty reports whether the patch changes nothing.
+func (p Patch) Empty() bool { return len(p.Ops) == 0 }
+
+// Routers returns the distinct section names the patch touches, sorted,
+// with the preamble rendered as "". Useful for coalescing keys and logs.
+func (p Patch) Routers() []string {
+	seen := map[string]bool{}
+	for _, op := range p.Ops {
+		seen[op.Router] = true
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Section is one node of the config tree: the preamble (Router "") or a
+// router's complete raw text. Text keeps original bytes — comments and
+// spacing survive a split/join round trip.
+type Section struct {
+	Router string
+	Text   string
+}
+
+// SplitSections splits configuration text into its ordered section list.
+// A section starts at a line whose first token (after comment stripping)
+// is "router" with a name; repeated sections for one router merge into
+// the first occurrence, mirroring how the parser and DeviceDigests
+// attribute lines. The preamble (comments and blank lines before the
+// first router — the parser rejects statements there) is kept as a
+// Router "" section so a split/join round trip preserves every byte.
+func SplitSections(text string) []Section {
+	lines := strings.Split(text, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1] // text ended with "\n": not an extra empty line
+	}
+	order := []string{}
+	bodies := map[string]*strings.Builder{}
+	name := ""
+	for _, line := range lines {
+		if fields := tokenize(line); len(fields) >= 2 && fields[0] == "router" {
+			name = fields[1]
+		}
+		sb, ok := bodies[name]
+		if !ok {
+			sb = &strings.Builder{}
+			bodies[name] = sb
+			order = append(order, name)
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	out := make([]Section, 0, len(order))
+	for _, n := range order {
+		out = append(out, Section{Router: n, Text: bodies[n].String()})
+	}
+	return out
+}
+
+// stripComments removes "//" and "#" comments line by line, keeping the
+// line structure.
+func stripComments(text string) string {
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		if j := strings.Index(line, "//"); j >= 0 {
+			line = line[:j]
+		}
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		lines[i] = line
+	}
+	return strings.Join(lines, "\n")
+}
+
+// canonicalSection reduces a section's text to its significant content:
+// comments stripped, each line space-joined, blank lines dropped. Two
+// sections with equal canonical text are semantically identical to the
+// parser and digest-identical to the pipeline.
+func canonicalSection(text string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(stripComments(text), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		b.WriteString(strings.Join(fields, " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Diff computes the canonical patch transforming oldText's config tree
+// into newText's: a DeleteOp per section that disappeared, then a SetOp
+// (carrying the new raw text) per section that appeared or whose
+// canonical content changed, in newText's order. Sections whose content
+// is canonically unchanged produce no op, so cosmetic and reorder-only
+// edits diff to the empty patch.
+func Diff(oldText, newText string) Patch {
+	oldSecs := SplitSections(oldText)
+	newSecs := SplitSections(newText)
+	oldByName := make(map[string]Section, len(oldSecs))
+	for _, s := range oldSecs {
+		oldByName[s.Router] = s
+	}
+	newByName := make(map[string]Section, len(newSecs))
+	for _, s := range newSecs {
+		newByName[s.Router] = s
+	}
+	var p Patch
+	for _, s := range oldSecs {
+		if canonicalSection(s.Text) == "" {
+			continue // comment-only (preamble): nothing to delete
+		}
+		if _, ok := newByName[s.Router]; !ok {
+			p.Ops = append(p.Ops, PatchOp{Op: DeleteOp, Router: s.Router})
+		}
+	}
+	for _, s := range newSecs {
+		canon := canonicalSection(s.Text)
+		if canon == "" {
+			continue // comment-only (preamble): nothing to set
+		}
+		if old, ok := oldByName[s.Router]; ok && canonicalSection(old.Text) == canon {
+			continue
+		}
+		p.Ops = append(p.Ops, PatchOp{Op: SetOp, Router: s.Router, Config: s.Text})
+	}
+	return p
+}
+
+// ApplyPatch applies a patch to a configuration text and returns the
+// patched text. Existing sections edited by a SetOp keep their position;
+// sections the patch introduces append in op order. DeleteOp on a section
+// the text does not have is an error (the patch was diffed against a
+// different base), as is an unknown op kind. Applying the empty patch
+// returns the input unchanged.
+func ApplyPatch(text string, p Patch) (string, error) {
+	if p.Empty() {
+		return text, nil
+	}
+	secs := SplitSections(text)
+	index := make(map[string]int, len(secs))
+	for i, s := range secs {
+		index[s.Router] = i
+	}
+	deleted := map[string]bool{}
+	for _, op := range p.Ops {
+		switch op.Op {
+		case DeleteOp:
+			i, ok := index[op.Router]
+			if !ok || deleted[op.Router] {
+				return "", fmt.Errorf("config: patch deletes unknown section %q", sectionName(op.Router))
+			}
+			secs[i].Text = ""
+			deleted[op.Router] = true
+		case SetOp:
+			if i, ok := index[op.Router]; ok && !deleted[op.Router] {
+				secs[i].Text = op.Config
+			} else {
+				delete(deleted, op.Router)
+				index[op.Router] = len(secs)
+				secs = append(secs, Section{Router: op.Router, Text: op.Config})
+			}
+		default:
+			return "", fmt.Errorf("config: patch op %q is not %q or %q", op.Op, SetOp, DeleteOp)
+		}
+	}
+	var b strings.Builder
+	for _, s := range secs {
+		if s.Text == "" {
+			continue
+		}
+		b.WriteString(s.Text)
+		if !strings.HasSuffix(s.Text, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}
+
+func sectionName(router string) string {
+	if router == "" {
+		return "(preamble)"
+	}
+	return router
+}

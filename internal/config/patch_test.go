@@ -1,0 +1,140 @@
+package config
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const patchBase = `// shared preamble
+
+router A
+bgp as 100
+interface eth0 ip 10.0.0.1/31
+bgp network 10.1.0.0/16
+
+router B
+bgp as 100
+interface eth0 ip 10.0.0.3/31
+bgp network 10.2.0.0/16
+`
+
+func TestSplitSections(t *testing.T) {
+	secs := SplitSections(patchBase)
+	var names []string
+	for _, s := range secs {
+		names = append(names, s.Router)
+	}
+	if got, want := strings.Join(names, ","), ",A,B"; got != want {
+		t.Fatalf("section order = %q, want %q", got, want)
+	}
+	if !strings.Contains(secs[1].Text, "router A") || !strings.Contains(secs[1].Text, "10.1.0.0/16") {
+		t.Fatalf("section A text wrong:\n%s", secs[1].Text)
+	}
+	// Split/join round trip preserves every byte.
+	var b strings.Builder
+	for _, s := range secs {
+		b.WriteString(s.Text)
+	}
+	if b.String() != patchBase {
+		t.Fatalf("split/join round trip changed text:\n%q\n%q", b.String(), patchBase)
+	}
+}
+
+func TestDiffEmptyOnCosmeticEdit(t *testing.T) {
+	cosmetic := strings.ReplaceAll(patchBase, "// shared preamble", "# different comment")
+	cosmetic = strings.ReplaceAll(cosmetic, "interface eth0 ip", "interface  eth0  ip")
+	if p := Diff(patchBase, cosmetic); !p.Empty() {
+		t.Fatalf("cosmetic edit produced ops: %+v", p.Ops)
+	}
+}
+
+func TestDiffEmptyOnReorder(t *testing.T) {
+	secs := SplitSections(patchBase)
+	reordered := secs[0].Text + secs[2].Text + secs[1].Text
+	if p := Diff(patchBase, reordered); !p.Empty() {
+		t.Fatalf("reorder-only edit produced ops: %+v", p.Ops)
+	}
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	// Change B, delete A, add C.
+	next := `router B
+bgp as 100
+interface eth0 ip 10.0.0.3/31
+bgp network 10.2.0.0/16
+bgp network 203.0.113.0/24
+
+router C
+bgp as 100
+interface eth0 ip 10.0.0.5/31
+`
+	p := Diff(patchBase, next)
+	if p.Empty() {
+		t.Fatal("diff is empty")
+	}
+	if got, want := strings.Join(p.Routers(), ","), "A,B,C"; got != want {
+		t.Fatalf("patch routers = %q, want %q", got, want)
+	}
+	patched, err := ApplyPatch(patchBase, p)
+	if err != nil {
+		t.Fatalf("ApplyPatch: %v", err)
+	}
+	// The patched tree must be canonically identical to the target,
+	// section by section.
+	want := map[string]string{}
+	for _, s := range SplitSections(next) {
+		if c := canonicalSection(s.Text); c != "" {
+			want[s.Router] = c
+		}
+	}
+	got := map[string]string{}
+	for _, s := range SplitSections(patched) {
+		if c := canonicalSection(s.Text); c != "" {
+			got[s.Router] = c
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("patched sections = %v, want %v", got, want)
+	}
+	for r, w := range want {
+		if got[r] != w {
+			t.Fatalf("section %q = %q, want %q", r, got[r], w)
+		}
+	}
+	// Both sides must parse to the same devices.
+	if _, err := ParseConfigs(patched); err != nil {
+		t.Fatalf("patched text does not parse: %v", err)
+	}
+}
+
+func TestApplyPatchErrors(t *testing.T) {
+	if _, err := ApplyPatch(patchBase, Patch{Ops: []PatchOp{{Op: DeleteOp, Router: "Z"}}}); err == nil {
+		t.Fatal("delete of unknown section did not error")
+	}
+	if _, err := ApplyPatch(patchBase, Patch{Ops: []PatchOp{{Op: "replace", Router: "A"}}}); err == nil {
+		t.Fatal("unknown op did not error")
+	}
+}
+
+func TestApplyEmptyPatch(t *testing.T) {
+	out, err := ApplyPatch(patchBase, Patch{})
+	if err != nil || out != patchBase {
+		t.Fatalf("empty patch changed text (err=%v)", err)
+	}
+}
+
+func TestPatchJSONRoundTrip(t *testing.T) {
+	p := Diff(patchBase, strings.ReplaceAll(patchBase, "10.2.0.0/16", "10.3.0.0/16"))
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Patch
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Ops) != len(p.Ops) || back.Ops[0] != p.Ops[0] {
+		t.Fatalf("round trip lost ops: %+v vs %+v", back.Ops, p.Ops)
+	}
+}

@@ -88,8 +88,13 @@ type StageInfo struct {
 	Status   string        `json:"status"`
 	Key      string        `json:"key"`
 	Duration time.Duration `json:"duration_ns"`
-	// Note carries stage-specific detail: the warm-start seed and dirty
-	// count, and whether the post-SRC reclamation fired.
+	// Seed is the digest of the prior SRC artifact a warm start chained
+	// on ("" for every other provenance) — a first-class column in the
+	// CLI's -explain-cache table and the trace spans.
+	Seed string `json:"seed,omitempty"`
+	// Note carries stage-specific detail: the warm-start dirty count, the
+	// anchoring baseline's name, and whether the post-SRC reclamation
+	// fired.
 	Note string `json:"note,omitempty"`
 }
 
@@ -104,6 +109,12 @@ type Request struct {
 	BTE        route.Community
 	Workers    int
 	GC         GCMode
+	// Baseline names the registered baseline this request is a delta
+	// against (""= none). When set and the Runner has a registry, the SRC
+	// stage anchors on the baseline's pinned converged state: an exact
+	// config match serves it directly, anything else warm-starts from it.
+	// Like the stage cache, the anchor never changes what a report says.
+	Baseline string
 	// Trace, when non-nil, receives fine-grained engine events for the
 	// stages that actually compute (EPVP rounds, SPF per-router work).
 	// Stage spans themselves are recorded by the caller from the
@@ -145,6 +156,10 @@ type Runner struct {
 	// traffic is keyed by the hash of the stage key and gated on the same
 	// text-born condition as the cache; failures degrade to recompute.
 	Store store.Tier
+	// Baselines, when non-nil, resolves Request.Baseline names to pinned
+	// converged states — the explicit warm-start anchor tier between the
+	// exact-key lookups and the opportunistic warm-candidate scan.
+	Baselines *BaselineRegistry
 }
 
 // diskKey is the store address of a stage key: stage keys embed '|'-joined
@@ -314,14 +329,33 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 
 // resolveSRC returns the SRC artifact for the request: cached when the
 // exact key is present, deserialized from the persistent tier when it
-// holds the key, warm-started from a compatible cached prior when one
-// exists, cold otherwise.
+// holds the key, served or warm-started from the request's named baseline
+// when one is registered, warm-started from a compatible cached prior
+// when one exists, cold otherwise.
 func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, cacheable, diskable bool) (*SRCArtifact, StageInfo, error) {
 	info := StageInfo{Stage: StageSRC, Status: StatusMiss, Key: srcKey}
 	if cacheable {
 		if v, ok := r.Cache.Get(StageSRC, srcKey); ok {
 			info.Status = StatusHit
 			return v.(*SRCArtifact), info, nil
+		}
+	}
+	// The named baseline with the exact key beats everything else: its
+	// converged state is already resident and pinned, so serving it costs
+	// nothing — and unlike the stage cache, it cannot have been evicted.
+	var baseline *Baseline
+	if req.Baseline != "" && r.Baselines != nil {
+		if b, ok := r.Baselines.Get(req.Baseline); ok && b.SRC.Eng.Mode == req.Mode {
+			baseline = b
+			if b.SRC.Key == srcKey {
+				// Served straight from the registry — never re-inserted
+				// into the stage cache, whose eviction unpin would race
+				// the registry's own pin bookkeeping. The artifact stays
+				// resident through the baseline's pins alone.
+				info.Status = StatusHit
+				info.Note = "baseline=" + b.Name
+				return b.SRC, info, nil
+			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -346,29 +380,36 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 			}
 		}
 	}
+	// The named baseline is the explicit warm anchor: deterministic, pinned,
+	// independent of cache pressure. The opportunistic scan over whatever
+	// the SRC cache still holds remains as the fallback for anonymous
+	// requests.
+	if src == nil && baseline != nil && baseline.SRC.Eng.Space.M.NumNodes() < warmNodeBudget {
+		warmed, dirty, err := r.warmFrom(ctx, req, srcKey, baseline.SRC)
+		if err != nil {
+			return nil, info, err
+		}
+		if warmed != nil {
+			src = warmed
+			info.Status = StatusWarm
+			info.Seed = baseline.SRC.Digest
+			info.Note = fmt.Sprintf("baseline=%s dirty=%d", baseline.Name, dirty)
+			if cacheable {
+				r.Cache.NoteWarm()
+			}
+		}
+	}
 	if src == nil && cacheable {
 		if prior := r.warmCandidate(req.Mode); prior != nil {
-			if eng, err := epvp.NewWarm(ctx, req.Load.Net, req.Mode, prior.Eng, UnchangedRouters(prior.Load, req.Load)); err == nil {
-				dirty := DirtyRouters(prior.Load, req.Load)
-				eng.Workers = req.Workers
-				eng.Trace = req.Trace
-				// The warm run computes in the prior artifact's manager:
-				// serialize against its other users for the duration.
-				prior.lock()
-				res, err := eng.RunWarmContext(ctx, prior.Res, dirty)
-				prior.unlock()
-				eng.Trace = nil // the engine outlives the run in the cache
-				if err != nil {
-					return nil, info, err
-				}
-				src = &SRCArtifact{
-					Key: srcKey, Digest: hashHex(srcKey),
-					Eng: eng, Res: res, Load: req.Load,
-					Workers: eng.WorkerCount(),
-					runLock: prior.runLock, // shared manager, shared lock
-				}
+			warmed, dirty, err := r.warmFrom(ctx, req, srcKey, prior)
+			if err != nil {
+				return nil, info, err
+			}
+			if warmed != nil {
+				src = warmed
 				info.Status = StatusWarm
-				info.Note = fmt.Sprintf("seed=%.12s dirty=%d", prior.Digest, len(dirty))
+				info.Seed = prior.Digest
+				info.Note = fmt.Sprintf("dirty=%d", dirty)
 				r.Cache.NoteWarm()
 			}
 		}
@@ -421,6 +462,37 @@ func (r *Runner) resolveSRC(ctx context.Context, req *Request, srcKey string, ca
 	}
 	info.Note += gcNote
 	return src, info, nil
+}
+
+// warmFrom seeds the EPVP fixed point for srcKey from a prior converged
+// artifact: compile only the changed routers' policies (epvp.NewWarm),
+// then recompute the dirty closure from the prior RIBs. Returns (nil, 0,
+// nil) when the universes are incompatible — the caller falls through to
+// the next resolution tier. The warmed artifact computes in the prior's
+// manager and therefore shares its run lock.
+func (r *Runner) warmFrom(ctx context.Context, req *Request, srcKey string, prior *SRCArtifact) (*SRCArtifact, int, error) {
+	eng, err := epvp.NewWarm(ctx, req.Load.Net, req.Mode, prior.Eng, UnchangedRouters(prior.Load, req.Load))
+	if err != nil {
+		return nil, 0, nil
+	}
+	dirty := DirtyRouters(prior.Load, req.Load)
+	eng.Workers = req.Workers
+	eng.Trace = req.Trace
+	// The warm run computes in the prior artifact's manager: serialize
+	// against its other users for the duration.
+	prior.lock()
+	res, err := eng.RunWarmContext(ctx, prior.Res, dirty)
+	prior.unlock()
+	eng.Trace = nil // the engine outlives the run in the cache
+	if err != nil {
+		return nil, 0, err
+	}
+	return &SRCArtifact{
+		Key: srcKey, Digest: hashHex(srcKey),
+		Eng: eng, Res: res, Load: req.Load,
+		Workers: eng.WorkerCount(),
+		runLock: prior.runLock, // shared manager, shared lock
+	}, len(dirty), nil
 }
 
 // warmCandidate scans the SRC stage for the most recently used artifact a

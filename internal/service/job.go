@@ -19,11 +19,16 @@ const (
 	JobDone      JobState = "done"
 	JobFailed    JobState = "failed"
 	JobCancelled JobState = "cancelled"
+	// JobSuperseded is the coalescing queue's terminal state: a newer
+	// delta against the same (baseline, options) target arrived while
+	// this job was still queued, so this job will never run. Its status
+	// points at the winning job via SupersededBy.
+	JobSuperseded JobState = "superseded"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCancelled
+	return s == JobDone || s == JobFailed || s == JobCancelled || s == JobSuperseded
 }
 
 // Job is one verification request tracked by the server.
@@ -36,21 +41,27 @@ type Job struct {
 	configText string
 	opts       expresso.Options
 	timeout    time.Duration
+	// baseline names the registered baseline a delta job runs against
+	// (""= anonymous /v1/verify job); coalesceKey is the (baseline,
+	// options) identity superseding deltas collapse on.
+	baseline    string
+	coalesceKey string
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
 
-	mu       sync.Mutex
-	state    JobState
-	report   *expresso.Report
-	errMsg   string
-	cacheHit bool
-	stages   []expresso.StageInfo
-	trace    *telemetry.Trace
-	created  time.Time
-	started  time.Time
-	finished time.Time
+	mu           sync.Mutex
+	state        JobState
+	report       *expresso.Report
+	errMsg       string
+	cacheHit     bool
+	supersededBy string
+	stages       []expresso.StageInfo
+	trace        *telemetry.Trace
+	created      time.Time
+	started      time.Time
+	finished     time.Time
 }
 
 // Cancel requests cancellation: a queued job is skipped, a running job's
@@ -95,11 +106,45 @@ func (j *Job) Trace() *telemetry.Trace {
 	return j.trace
 }
 
-func (j *Job) setRunning(now time.Time) {
+// setRunning moves a queued job to running. It reports false when the job
+// already left the queued state — superseded or cancelled between the
+// worker's dequeue and here — in which case the worker must not run it.
+func (j *Job) setRunning(now time.Time) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
 	j.state = JobRunning
 	j.started = now
+	return true
+}
+
+// trySupersede retires a still-queued job in favor of winnerID: the
+// compare-and-swap half of the coalescing queue. Only a queued job can be
+// superseded — once a worker has claimed it (setRunning) or it reached
+// any terminal state, the supersede loses and reports false.
+func (j *Job) trySupersede(winnerID string, now time.Time) bool {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = JobSuperseded
+	j.supersededBy = winnerID
+	j.errMsg = "superseded by " + winnerID
+	j.finished = now
+	j.mu.Unlock()
+	close(j.done)
+	j.cancel()
+	return true
+}
+
+// SupersededBy returns the winning job's ID ("" unless superseded).
+func (j *Job) SupersededBy() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.supersededBy
 }
 
 // finish moves the job to a terminal state exactly once; later calls are
@@ -121,12 +166,16 @@ func (j *Job) finish(state JobState, report *expresso.Report, errMsg string, now
 
 // JobStatus is the JSON view of a job returned by the API.
 type JobStatus struct {
-	ID       string           `json:"id"`
-	State    JobState         `json:"state"`
-	Digest   string           `json:"digest"`
-	CacheHit bool             `json:"cache_hit"`
-	Error    string           `json:"error,omitempty"`
-	Report   *expresso.Report `json:"report,omitempty"`
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Digest   string   `json:"digest"`
+	CacheHit bool     `json:"cache_hit"`
+	// Baseline is the registered baseline a delta job ran against.
+	Baseline string `json:"baseline,omitempty"`
+	// SupersededBy points at the winning job when State is superseded.
+	SupersededBy string           `json:"superseded_by,omitempty"`
+	Error        string           `json:"error,omitempty"`
+	Report       *expresso.Report `json:"report,omitempty"`
 	// Stages is the per-stage cache provenance of the run that produced
 	// the report (hit, miss, or warm per pipeline stage).
 	Stages  []expresso.StageInfo `json:"stages,omitempty"`
@@ -140,12 +189,14 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:       j.ID,
-		State:    j.state,
-		Digest:   j.Digest,
-		CacheHit: j.cacheHit,
-		Error:    j.errMsg,
-		Created:  j.created,
+		ID:           j.ID,
+		State:        j.state,
+		Digest:       j.Digest,
+		CacheHit:     j.cacheHit,
+		Baseline:     j.baseline,
+		SupersededBy: j.supersededBy,
+		Error:        j.errMsg,
+		Created:      j.created,
 	}
 	if j.state.Terminal() {
 		st.Report = j.report

@@ -34,6 +34,9 @@ type Metrics struct {
 	// JobsRejected counts submissions refused because the queue was full
 	// or the server was draining.
 	JobsRejected atomic.Int64
+	// JobsCoalesced counts queued delta jobs retired because a newer delta
+	// on the same (baseline, options) target superseded them.
+	JobsCoalesced atomic.Int64
 	// CacheHits / CacheMisses count result-cache lookups at submit time.
 	CacheHits   atomic.Int64
 	CacheMisses atomic.Int64
@@ -103,10 +106,11 @@ func (m *Metrics) StageTotals() (expresso.Timing, int64) {
 }
 
 // WriteText renders the counters in Prometheus text exposition format.
-// queueDepth, workers, and engineWorkers are point-in-time gauges supplied
-// by the server; cacheStats is the verifier's per-stage cache snapshot and
-// storeStats, when non-nil, the persistent artifact-store tier's counters.
-func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int, cacheStats []expresso.StageCacheStat, storeStats *expresso.StoreStats) {
+// queueDepth, workers, engineWorkers, and baselines are point-in-time
+// gauges supplied by the server; cacheStats is the verifier's per-stage
+// cache snapshot and storeStats, when non-nil, the persistent
+// artifact-store tier's counters.
+func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers, baselines int, cacheStats []expresso.StageCacheStat, storeStats *expresso.StoreStats) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -118,12 +122,14 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers int,
 	counter("expresso_jobs_failed_total", "Jobs finished with an error.", m.JobsFailed.Load())
 	counter("expresso_jobs_cancelled_total", "Jobs stopped by cancellation or deadline.", m.JobsCancelled.Load())
 	counter("expresso_jobs_rejected_total", "Submissions refused (queue full or draining).", m.JobsRejected.Load())
+	counter("expresso_jobs_coalesced_total", "Queued delta jobs superseded by a newer delta on the same target.", m.JobsCoalesced.Load())
 	counter("expresso_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	counter("expresso_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
 	counter("expresso_engine_runs_total", "Verifications that entered the EPVP engine.", m.EngineRuns.Load())
 	gauge("expresso_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth))
 	gauge("expresso_workers", "Size of the worker pool.", int64(workers))
 	gauge("expresso_engine_workers", "Engine goroutines per verification job.", int64(engineWorkers))
+	gauge("expresso_baselines", "Registered named baselines.", int64(baselines))
 
 	rc := bdd.GlobalReclaimStats()
 	counter("expresso_bdd_reclaims_total", "Dead-node sweeps across all BDD managers.", rc.Runs)

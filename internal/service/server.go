@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"runtime"
 	rtdebug "runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,6 +104,10 @@ var ErrQueueFull = errors.New("service: job queue is full")
 // ErrDraining is returned by Submit after Drain has begun.
 var ErrDraining = errors.New("service: server is draining")
 
+// ErrUnknownBaseline is returned by SubmitDelta when the named baseline is
+// not registered.
+var ErrUnknownBaseline = errors.New("service: unknown baseline")
+
 // Server is the verification daemon: a bounded worker pool consuming a
 // FIFO job queue, fronted by a staged Verifier whose stage-granular
 // caches (load, SRC, analysis, SPF, report) let repeated and incremental
@@ -120,6 +126,11 @@ type Server struct {
 	queue    chan *Job
 	jobs     map[string]*Job
 	jobOrder []string // creation order, for registry eviction
+	// pending tracks, per coalesce key, the newest still-queued delta job
+	// — the one a superseding submission must retire. Entries are removed
+	// when a worker claims the job (clearPending); a stale terminal entry
+	// is harmless and is overwritten by the next submission on its key.
+	pending map[string]*Job
 
 	wg     sync.WaitGroup
 	nextID atomic.Int64
@@ -127,6 +138,9 @@ type Server struct {
 	// runVerify performs one verification; tests may substitute it. The
 	// RunInfo (nil from substitutes) carries per-stage cache provenance.
 	runVerify func(ctx context.Context, configText string, opts expresso.Options) (*expresso.Report, *expresso.RunInfo, error)
+	// runDelta performs one baseline-anchored verification (the patched
+	// text against the named baseline); tests may substitute it.
+	runDelta func(ctx context.Context, baseline, configText string, opts expresso.Options) (*expresso.Report, *expresso.RunInfo, error)
 }
 
 // New builds a server. Call Start to launch the worker pool.
@@ -153,10 +167,16 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		jobs:       map[string]*Job{},
+		pending:    map[string]*Job{},
 	}
 	s.runVerify = s.verifier.VerifyText
+	s.runDelta = s.verifier.VerifyTextFrom
 	return s
 }
+
+// Verifier exposes the server's staged verifier (baseline registration
+// goes through it).
+func (s *Server) Verifier() *expresso.Verifier { return s.verifier }
 
 // Start launches the worker pool.
 func (s *Server) Start() {
@@ -203,6 +223,28 @@ func (s *Server) Drain(ctx context.Context) error {
 // pool. The returned bool reports a cache hit. timeout <= 0 uses the
 // server default.
 func (s *Server) Submit(configText string, opts expresso.Options, timeout time.Duration) (*Job, bool, error) {
+	return s.submit(configText, "", opts, timeout)
+}
+
+// SubmitDelta admits a delta verification: the patch is applied to the
+// named baseline's registered text and the result is verified anchored on
+// the baseline's pinned converged state. Delta jobs coalesce — admitting
+// one supersedes any still-queued job on the same (baseline, options)
+// target, because a newer delta against the same base makes the older
+// snapshot's answer obsolete before it is even computed.
+func (s *Server) SubmitDelta(baseline string, patch expresso.Patch, opts expresso.Options, timeout time.Duration) (*Job, bool, error) {
+	base, ok := s.verifier.BaselineText(baseline)
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownBaseline, baseline)
+	}
+	configText, err := expresso.ApplyPatch(base, patch)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.submit(configText, baseline, opts, timeout)
+}
+
+func (s *Server) submit(configText, baseline string, opts expresso.Options, timeout time.Duration) (*Job, bool, error) {
 	digest := Digest(configText, opts)
 	now := time.Now()
 	job := &Job{
@@ -211,9 +253,13 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 		configText: configText,
 		opts:       opts,
 		timeout:    timeout,
+		baseline:   baseline,
 		done:       make(chan struct{}),
 		state:      JobQueued,
 		created:    now,
+	}
+	if baseline != "" {
+		job.coalesceKey = baseline + "\x00" + opts.CacheKey()
 	}
 	if job.timeout <= 0 {
 		job.timeout = s.cfg.JobTimeout
@@ -229,6 +275,9 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 		}}
 		job.finish(JobDone, rep, "", now)
 		s.register(job)
+		// Even an answered-from-cache delta supersedes an older queued
+		// delta on its target: this job IS the newer state of the base.
+		s.supersedePending(job, now)
 		s.log.Info("job served from cache", "job", job.ID, "digest", digest)
 		return job, true, nil
 	}
@@ -241,8 +290,13 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 		s.log.Warn("job rejected", "digest", digest, "reason", "draining")
 		return nil, false, ErrDraining
 	}
+	var prev *Job
 	select {
 	case s.queue <- job:
+		if job.coalesceKey != "" {
+			prev = s.pending[job.coalesceKey]
+			s.pending[job.coalesceKey] = job
+		}
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
@@ -250,10 +304,43 @@ func (s *Server) Submit(configText string, opts expresso.Options, timeout time.D
 		s.log.Warn("job rejected", "digest", digest, "reason", "queue full")
 		return nil, false, ErrQueueFull
 	}
+	if prev != nil && prev.trySupersede(job.ID, now) {
+		s.Metrics.JobsCoalesced.Add(1)
+		s.log.Info("job superseded", "job", prev.ID, "by", job.ID, "baseline", baseline)
+	}
 	s.Metrics.JobsAccepted.Add(1)
 	s.register(job)
 	s.log.Info("job queued", "job", job.ID, "digest", digest, "timeout", job.timeout)
 	return job, false, nil
+}
+
+// supersedePending retires the queued job on job's coalesce key, if any.
+func (s *Server) supersedePending(job *Job, now time.Time) {
+	if job.coalesceKey == "" {
+		return
+	}
+	s.mu.Lock()
+	prev := s.pending[job.coalesceKey]
+	s.mu.Unlock()
+	if prev != nil && prev != job && prev.trySupersede(job.ID, now) {
+		s.Metrics.JobsCoalesced.Add(1)
+		s.clearPending(prev)
+		s.log.Info("job superseded", "job", prev.ID, "by", job.ID, "baseline", job.baseline)
+	}
+}
+
+// clearPending drops the job from the pending table if it is still the
+// entry for its coalesce key (identity-guarded: a newer job may already
+// have replaced it).
+func (s *Server) clearPending(job *Job) {
+	if job.coalesceKey == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.pending[job.coalesceKey] == job {
+		delete(s.pending, job.coalesceKey)
+	}
+	s.mu.Unlock()
 }
 
 // register tracks the job for /v1/jobs lookups, evicting the oldest
@@ -301,6 +388,14 @@ func (s *Server) QueueDepth() int {
 }
 
 func (s *Server) runJob(job *Job) {
+	// This worker owns the job now; it is no longer a supersede target.
+	s.clearPending(job)
+	if job.State() == JobSuperseded {
+		// Retired by a newer delta while queued: already terminal, already
+		// counted (JobsCoalesced), nothing to run.
+		s.log.Info("job skipped (superseded)", "job", job.ID, "by", job.SupersededBy())
+		return
+	}
 	if job.ctx.Err() != nil { // cancelled while queued
 		s.Metrics.JobsCancelled.Add(1)
 		s.log.Info("job cancelled while queued", "job", job.ID)
@@ -308,7 +403,11 @@ func (s *Server) runJob(job *Job) {
 		return
 	}
 	start := time.Now()
-	job.setRunning(start)
+	if !job.setRunning(start) {
+		// Lost the claim race to a supersede between the checks above.
+		s.log.Info("job skipped (superseded)", "job", job.ID, "by", job.SupersededBy())
+		return
+	}
 	s.log.Info("job started", "job", job.ID, "digest", job.Digest)
 	ctx := job.ctx
 	if job.timeout > 0 {
@@ -324,7 +423,16 @@ func (s *Server) runJob(job *Job) {
 	if s.cfg.Trace {
 		opts.Trace = expresso.NewTracer()
 	}
-	rep, info, err := s.runVerify(ctx, job.configText, opts)
+	var (
+		rep  *expresso.Report
+		info *expresso.RunInfo
+		err  error
+	)
+	if job.baseline != "" {
+		rep, info, err = s.runDelta(ctx, job.baseline, job.configText, opts)
+	} else {
+		rep, info, err = s.runVerify(ctx, job.configText, opts)
+	}
 	now := time.Now()
 	switch {
 	case err == nil:
@@ -401,23 +509,90 @@ func (r *VerifyRequest) Options() (expresso.Options, error) {
 	return opts, nil
 }
 
+// BaselineRequest is the POST /v1/baselines body: a configuration to
+// verify synchronously and register as the named delta base.
+type BaselineRequest struct {
+	// Name is the registry key deltas will reference (required).
+	Name string `json:"name"`
+	// Config is the multi-router configuration text (required).
+	Config     string   `json:"config"`
+	Properties []string `json:"properties,omitempty"`
+	Mode       string   `json:"mode,omitempty"`
+	BTE        string   `json:"bte,omitempty"`
+}
+
+// Options translates the registration's verification options.
+func (r *BaselineRequest) Options() (expresso.Options, error) {
+	vr := VerifyRequest{Properties: r.Properties, Mode: r.Mode, BTE: r.BTE}
+	return vr.Options()
+}
+
+// BaselineStatus is the JSON view of a registered baseline.
+type BaselineStatus struct {
+	*expresso.BaselineInfo
+	// Report is the registration run's report (only on POST).
+	Report *expresso.Report `json:"report,omitempty"`
+}
+
+// DeltaRequest is the POST /v1/jobs body: a patch against a named
+// baseline plus the usual verification options.
+type DeltaRequest struct {
+	// Baseline names the registered base (required).
+	Baseline string `json:"baseline"`
+	// Patch is the config-tree delta to apply to the baseline's text. The
+	// empty patch re-verifies the baseline as-is.
+	Patch      expresso.Patch `json:"patch"`
+	Properties []string       `json:"properties,omitempty"`
+	Mode       string         `json:"mode,omitempty"`
+	BTE        string         `json:"bte,omitempty"`
+	TimeoutMS  int64          `json:"timeout_ms,omitempty"`
+	Wait       bool           `json:"wait,omitempty"`
+}
+
+// Options translates the delta's verification options.
+func (r *DeltaRequest) Options() (expresso.Options, error) {
+	vr := VerifyRequest{Properties: r.Properties, Mode: r.Mode, BTE: r.BTE}
+	return vr.Options()
+}
+
 // Handler returns the HTTP API:
 //
-//	POST   /v1/verify          submit a verification (cache-aware)
-//	GET    /v1/jobs/{id}       job status and report
-//	GET    /v1/jobs/{id}/trace run trace (requires Config.Trace)
-//	DELETE /v1/jobs/{id}       cancel a job
-//	GET    /healthz            liveness + build info (503 while draining)
-//	GET    /metrics            Prometheus-style counters and histograms
+//	POST   /v1/verify           submit a verification (cache-aware)
+//	POST   /v1/baselines        register a named baseline (synchronous)
+//	GET    /v1/baselines        list registered baselines
+//	GET    /v1/baselines/{name} baseline detail
+//	DELETE /v1/baselines/{name} unregister a baseline
+//	POST   /v1/jobs             submit a delta job {baseline, patch}
+//	GET    /v1/jobs/{id}        job status and report
+//	GET    /v1/jobs/{id}/trace  run trace (requires Config.Trace)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /healthz             liveness + build info (503 while draining)
+//	GET    /metrics             Prometheus-style counters and histograms
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/baselines", s.handleBaselineCreate)
+	mux.HandleFunc("GET /v1/baselines", s.handleBaselineList)
+	mux.HandleFunc("GET /v1/baselines/{name}", s.handleBaselineGet)
+	mux.HandleFunc("DELETE /v1/baselines/{name}", s.handleBaselineDelete)
+	mux.HandleFunc("POST /v1/jobs", s.handleDelta)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// setRetryAfter stamps a 503's Retry-After from the current backlog: one
+// second plus the queued-jobs-per-worker ratio, capped at 30 — a rough
+// "when might a slot open" rather than a fixed constant.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	wait := 1 + s.QueueDepth()/s.cfg.Workers
+	if wait > 30 {
+		wait = 30
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(wait))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -449,9 +624,16 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, hit, err := s.Submit(req.Config, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
+	s.respondSubmitted(w, r, job, hit, req.Wait, err)
+}
+
+// respondSubmitted renders a Submit/SubmitDelta outcome: 503 with
+// Retry-After on backpressure, 200 on a cache hit, 202 (or a blocking
+// wait) otherwise.
+func (s *Server) respondSubmitted(w http.ResponseWriter, r *http.Request, job *Job, hit, wait bool, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w)
 		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
 		return
 	case err != nil:
@@ -462,7 +644,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, job.Status())
 		return
 	}
-	if req.Wait {
+	if wait {
 		select {
 		case <-job.Done():
 			writeJSON(w, http.StatusOK, job.Status())
@@ -474,6 +656,116 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req DeltaRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Baseline == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{"missing \"baseline\""})
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	job, hit, err := s.SubmitDelta(req.Baseline, req.Patch, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
+	if errors.Is(err, ErrUnknownBaseline) {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	if err != nil && !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrDraining) {
+		// A patch that does not apply is the client's error, not ours.
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	s.respondSubmitted(w, r, job, hit, req.Wait, err)
+}
+
+func (s *Server) handleBaselineCreate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req BaselineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+		return
+	}
+	if req.Name == "" || req.Config == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{"missing \"name\" or \"config\""})
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.setRetryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, apiError{ErrDraining.Error()})
+		return
+	}
+	if _, ok := s.verifier.Baseline(req.Name); ok {
+		writeJSON(w, http.StatusConflict, apiError{fmt.Sprintf("baseline %q already registered", req.Name)})
+		return
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.cfg.EngineWorkers
+	}
+	ctx := s.baseCtx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	s.Metrics.EngineRuns.Add(1)
+	rep, info, err := s.verifier.RegisterBaseline(ctx, req.Name, req.Config, opts)
+	switch {
+	case err == nil:
+		s.Metrics.ObserveTiming(rep.Timing)
+		s.log.Info("baseline registered", "baseline", req.Name, "digest", info.ConfigDigest)
+		writeJSON(w, http.StatusCreated, BaselineStatus{BaselineInfo: info, Report: rep})
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, apiError{err.Error()})
+	case strings.Contains(err.Error(), "already registered"):
+		writeJSON(w, http.StatusConflict, apiError{err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+	}
+}
+
+func (s *Server) handleBaselineList(w http.ResponseWriter, r *http.Request) {
+	infos := s.verifier.Baselines()
+	out := make([]BaselineStatus, len(infos))
+	for i, info := range infos {
+		out[i] = BaselineStatus{BaselineInfo: info}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"baselines": out})
+}
+
+func (s *Server) handleBaselineGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.verifier.Baseline(r.PathValue("name"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown baseline"})
+		return
+	}
+	writeJSON(w, http.StatusOK, BaselineStatus{BaselineInfo: info})
+}
+
+func (s *Server) handleBaselineDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.verifier.RemoveBaseline(name) {
+		writeJSON(w, http.StatusNotFound, apiError{"unknown baseline"})
+		return
+	}
+	s.log.Info("baseline removed", "baseline", name)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -552,5 +844,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.verifier.StoreTraffic(); ok {
 		storeStats = &st
 	}
-	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers, s.verifier.CacheStats(), storeStats)
+	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers, s.verifier.BaselineCount(), s.verifier.CacheStats(), storeStats)
 }

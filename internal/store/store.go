@@ -36,6 +36,9 @@ type Tier interface {
 	// Put stores data under (stage, digest). Writes are atomic: a reader
 	// never observes a partial blob.
 	Put(stage, digest string, data []byte)
+	// Delete removes the blob under (stage, digest), reporting whether one
+	// was resident. Deleting an absent blob is not an error.
+	Delete(stage, digest string) bool
 	// Stats snapshots the tier's counters.
 	Stats() Stats
 }
@@ -296,6 +299,71 @@ func (d *Disk) touch(stage, digest string, size int64) {
 	}
 	d.clock++
 	b.used = d.clock
+}
+
+// Delete removes the blob under (stage, digest) from the index and the
+// filesystem, reporting whether a blob file was actually removed. It is
+// the primitive under `expresso store gc` and baseline retirement.
+func (d *Disk) Delete(stage, digest string) bool {
+	if !validKey(stage) || !validKey(digest) {
+		return false
+	}
+	existed := false
+	if _, err := os.Stat(d.path(stage, digest)); err == nil {
+		existed = true
+	}
+	d.remove(stage, digest)
+	return existed
+}
+
+// Key identifies one resident blob and its framed size on disk.
+type Key struct {
+	Stage  string
+	Digest string
+	Size   int64
+}
+
+// Keys scans the store directory and returns every resident blob, sorted
+// by (stage, digest). It reads the filesystem rather than the in-process
+// index so blobs written by other processes sharing the directory are
+// included — the gc sweep must see everything it might prune.
+func (d *Disk) Keys() []Key {
+	var out []Key
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		stage := e.Name()
+		files, err := os.ReadDir(filepath.Join(d.dir, stage))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if !strings.HasSuffix(f.Name(), blobExt) {
+				continue
+			}
+			var size int64
+			if info, err := f.Info(); err == nil {
+				size = info.Size()
+			}
+			out = append(out, Key{
+				Stage:  stage,
+				Digest: strings.TrimSuffix(f.Name(), blobExt),
+				Size:   size,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out
 }
 
 func (d *Disk) remove(stage, digest string) {

@@ -47,9 +47,12 @@ const SchemaVersion = "expresso-trace/1"
 // offset from the trace's Start time, so spans reconstruct the run's
 // timeline without absolute clocks.
 type Span struct {
-	Name     string `json:"name"`
-	Status   string `json:"status,omitempty"`
-	Key      string `json:"key,omitempty"`
+	Name   string `json:"name"`
+	Status string `json:"status,omitempty"`
+	Key    string `json:"key,omitempty"`
+	// Seed is the digest of the prior converged state a warm-started SRC
+	// stage chained on (empty for every other provenance).
+	Seed     string `json:"seed,omitempty"`
 	Note     string `json:"note,omitempty"`
 	StartNS  int64  `json:"start_ns"`
 	Duration int64  `json:"duration_ns"`
@@ -179,10 +182,11 @@ func (t *Tracer) SetMeta(digest, mode, options string, workers int) {
 	t.trace.Workers = workers
 }
 
-// Span records a completed stage. d is the stage's wall-clock duration;
-// the span's start offset is inferred from the recording time, which is
-// accurate because stages record themselves as they finish.
-func (t *Tracer) Span(name, status, key, note string, d time.Duration) {
+// Span records a completed stage. seed is the warm-start seed digest (""
+// when the stage was not warm-started); d is the stage's wall-clock
+// duration — the span's start offset is inferred from the recording time,
+// which is accurate because stages record themselves as they finish.
+func (t *Tracer) Span(name, status, key, seed, note string, d time.Duration) {
 	if t == nil {
 		return
 	}
@@ -193,7 +197,7 @@ func (t *Tracer) Span(name, status, key, note string, d time.Duration) {
 		startNS = 0
 	}
 	t.trace.Spans = append(t.trace.Spans, Span{
-		Name: name, Status: status, Key: key, Note: note,
+		Name: name, Status: status, Key: key, Seed: seed, Note: note,
 		StartNS: startNS, Duration: d.Nanoseconds(),
 	})
 }

@@ -1,0 +1,38 @@
+# Turns `go test -bench` output for the cold / baseline-delta /
+# coalesced-burst region-1 trio into BENCH_pr8.json (see `make
+# bench-delta`).
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ && NF >= 7 {
+	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the -GOMAXPROCS suffix
+	ns[name] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	cold = "BenchmarkVerifyRegion1"
+	delta = "BenchmarkDeltaRegion1Baseline"
+	burst = "BenchmarkDeltaRegion1CoalescedBurst"
+	printf "{\n"
+	printf "  \"pr\": 8,\n"
+	printf "  \"benchmark\": \"cold vs baseline-anchored delta vs coalesced 8-delta burst (CSP region1, leak-only)\",\n"
+	printf "  \"command\": \"make bench-delta\",\n"
+	printf "  \"environment\": { \"cpu\": \"%s\" },\n", cpu
+	printf "  \"results\": [\n"
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    { \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s }%s\n", \
+			name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+	}
+	printf "  ]"
+	if ((cold in ns) && (delta in ns) && ns[delta] > 0) {
+		printf ",\n  \"cold_over_delta_speedup\": %.2f", ns[cold] / ns[delta]
+	}
+	if ((delta in ns) && (burst in ns) && ns[burst] > 0) {
+		# The burst submits 8 superseding deltas per op; without
+		# coalescing it would cost ~8 delta runs.
+		printf ",\n  \"burst_over_delta_ratio\": %.2f", ns[burst] / ns[delta]
+	}
+	printf "\n}\n"
+}

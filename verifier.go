@@ -79,9 +79,10 @@ type VerifierConfig struct {
 // A Verifier is safe for concurrent use; computation on shared symbolic
 // state is serialized per SRC artifact.
 type Verifier struct {
-	cache *pipeline.StageCache
-	store store.Tier
-	gc    GCMode
+	cache     *pipeline.StageCache
+	store     store.Tier
+	baselines *pipeline.BaselineRegistry
+	gc        GCMode
 }
 
 // NewVerifier builds a Verifier with the configured cache capacities and,
@@ -96,7 +97,8 @@ func NewVerifier(cfg VerifierConfig) *Verifier {
 			Forwarding: cfg.ForwardingCache,
 			Report:     cfg.ReportCache,
 		}),
-		gc: cfg.GC,
+		baselines: pipeline.NewBaselineRegistry(),
+		gc:        cfg.GC,
 	}
 	if cfg.StoreDir != "" {
 		if d, err := store.OpenDisk(cfg.StoreDir, cfg.StoreBudget); err == nil {
@@ -123,6 +125,9 @@ type RunInfo struct {
 	// CacheHit is true when the report was served whole from the report
 	// cache; Stages then holds the single report-stage entry.
 	CacheHit bool `json:"cache_hit"`
+	// Baseline is the registered baseline the run anchored on ("" for
+	// anonymous verifications).
+	Baseline string `json:"baseline,omitempty"`
 	// Stages lists per-stage provenance in pipeline order.
 	Stages []StageInfo `json:"stages"`
 }
@@ -138,11 +143,18 @@ func ReportDigest(configText string, opts Options) string {
 // artifacts where the request's stage keys match earlier runs. The
 // returned RunInfo records the provenance of every stage.
 func (v *Verifier) VerifyText(ctx context.Context, configText string, opts Options) (*Report, *RunInfo, error) {
+	return v.verifyText(ctx, "", configText, opts)
+}
+
+// verifyText is the shared driver behind VerifyText, VerifyTextFrom, and
+// VerifyDelta: baseline names the registered warm anchor ("" for
+// anonymous requests).
+func (v *Verifier) verifyText(ctx context.Context, baseline, configText string, opts Options) (*Report, *RunInfo, error) {
 	opts.normalize()
 	if err := opts.validate(); err != nil {
 		return nil, nil, err
 	}
-	info := &RunInfo{Digest: ReportDigest(configText, opts)}
+	info := &RunInfo{Digest: ReportDigest(configText, opts), Baseline: baseline}
 
 	start := time.Now()
 	if cached, ok := v.cache.Get(pipeline.StageReport, info.Digest); ok {
@@ -165,8 +177,9 @@ func (v *Verifier) VerifyText(ctx context.Context, configText string, opts Optio
 	}
 	info.Stages = append(info.Stages, loadInfo)
 
-	runner := &pipeline.Runner{Cache: v.cache, Store: v.store}
+	runner := &pipeline.Runner{Cache: v.cache, Store: v.store, Baselines: v.baselines}
 	req := opts.request(load)
+	req.Baseline = baseline
 	if req.GC == GCAuto {
 		req.GC = v.gc
 	}

@@ -10,9 +10,9 @@ GO ?= go
 # engine under the race detector.
 RACE_WORKERS ?= 4
 
-.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd bench-store bench-workers bench-delta store-check gate-check alloc-guard
+.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd bench-store bench-workers bench-delta bench-memwatermark store-check gate-check trace-check alloc-guard
 
-ci: vet staticcheck build race race-parallel store-check gate-check alloc-guard
+ci: vet staticcheck build race race-parallel store-check gate-check trace-check alloc-guard
 
 vet:
 	$(GO) vet ./...
@@ -141,6 +141,21 @@ bench-delta:
 # byte-identity acceptance tests behind them.
 gate-check:
 	$(GO) test . -run 'TestGate|TestBaseline' -count=1
+
+# Trace-analysis gate: the end-to-end `expresso trace diff` attribution
+# golden test (an injected spf slowdown must be flagged, attributed to
+# spf, and nothing else may drift), the traced-run structure checks, and
+# the traceview unit suite behind the CLI.
+trace-check:
+	$(GO) test . -run 'TestTraceDiffGolden|TestVerifyTextTrace|TestVerifyTrace' -count=1
+	$(GO) test -count=1 ./internal/traceview/
+
+# Memory watermark on region 1: one traced verification, recording the
+# schedule-independent peak live BDD nodes/bytes (sampled at reclaim
+# entry, EPVP round barriers, and SPF completion) into BENCH_pr9.json.
+bench-memwatermark:
+	EXPRESSO_MEM_WATERMARK=1 $(GO) test . -run TestRegion1MemWatermark -count=1 -v -timeout 30m
+	@cat BENCH_pr9.json
 
 # Allocation-regression guard: one cold region-1 verification must stay
 # under the byte ceiling in alloc_guard_test.go. The test skips itself

@@ -1,0 +1,77 @@
+package expresso_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/netgen"
+)
+
+// TestRegion1MemWatermark records the region-1 memory watermark into
+// BENCH_pr9.json: one traced verification, reporting the peak live BDD
+// node/byte count observed at the schedule-independent sample points
+// (reclaim entry, EPVP round barriers, SPF completion). Gated behind
+// EXPRESSO_MEM_WATERMARK because it runs the full region-1 fixture and
+// writes a file into the repository; `make bench-memwatermark` sets it.
+func TestRegion1MemWatermark(t *testing.T) {
+	if os.Getenv("EXPRESSO_MEM_WATERMARK") == "" {
+		t.Skip("set EXPRESSO_MEM_WATERMARK=1 (make bench-memwatermark) to record the region-1 watermark")
+	}
+	text := netgen.CSP(netgen.CSPOldRegion(1))
+	net, err := expresso.Load(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := expresso.NewTracer()
+	opts := expresso.Options{
+		Properties: []expresso.Kind{expresso.RouteLeakFree},
+		Trace:      tracer,
+	}
+	start := time.Now()
+	if _, err := net.Verify(opts); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	tr := tracer.Finish()
+	if tr.Watermark == nil {
+		t.Fatal("traced run produced no watermark footer")
+	}
+	wm := tr.Watermark
+	if wm.PeakLiveNodes <= 0 || wm.Samples <= 0 {
+		t.Fatalf("implausible watermark: %+v", wm)
+	}
+	if wm.PeakLiveNodes < wm.EndLiveNodes {
+		t.Fatalf("peak %d below end-of-run live count %d", wm.PeakLiveNodes, wm.EndLiveNodes)
+	}
+
+	record := map[string]any{
+		"benchmark":         "Region1MemWatermark",
+		"fixture":           "region1 (CSP old topology)",
+		"properties":        []string{"leak"},
+		"peak_live_nodes":   wm.PeakLiveNodes,
+		"peak_live_bytes":   wm.PeakLiveBytes,
+		"end_live_nodes":    wm.EndLiveNodes,
+		"end_live_bytes":    wm.EndLiveBytes,
+		"watermark_samples": wm.Samples,
+		"complement_share":  wm.ComplementShare,
+		"epvp_rounds":       len(tr.EPVPRounds),
+		"duration_ns":       elapsed.Nanoseconds(),
+		"environment": map[string]any{
+			"go":    runtime.Version(),
+			"cores": runtime.NumCPU(),
+		},
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr9.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("region-1 watermark: peak %d nodes (%d bytes) over %d samples, end %d nodes",
+		wm.PeakLiveNodes, wm.PeakLiveBytes, wm.Samples, wm.EndLiveNodes)
+}

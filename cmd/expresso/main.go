@@ -8,6 +8,9 @@
 //	expresso stats -file net.cfg
 //	expresso gate [-props ...] [-json] old.cfg new.cfg
 //	expresso store gc -dir /var/cache/expresso [-dry-run]
+//	expresso trace summarize run.json
+//	expresso trace diff [-threshold 0.25] [-json] old.json new.json
+//	expresso trace top [-n 10] run.json
 //	expresso gen -dataset full-old -out configs/
 //	expresso serve -addr :8080 [-workers N] [-engine-workers M] [-queue N] [-cache N] [-timeout 5m]
 //	               [-trace] [-debug-addr localhost:6060] [-log-format text|json]
@@ -40,6 +43,7 @@ import (
 	"github.com/expresso-verify/expresso/internal/store"
 	"github.com/expresso-verify/expresso/internal/symbolic"
 	"github.com/expresso-verify/expresso/internal/telemetry"
+	"github.com/expresso-verify/expresso/internal/traceview"
 )
 
 func main() {
@@ -55,6 +59,8 @@ func main() {
 		cmdGate(os.Args[2:])
 	case "store":
 		cmdStore(os.Args[2:])
+	case "trace":
+		cmdTrace(os.Args[2:])
 	case "gen":
 		cmdGen(os.Args[2:])
 	case "search-policy":
@@ -67,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: expresso check|stats|gate|store|gen|search-policy|serve [flags]")
+	fmt.Fprintln(os.Stderr, "usage: expresso check|stats|gate|store|trace|gen|search-policy|serve [flags]")
 	os.Exit(2)
 }
 
@@ -442,6 +448,79 @@ func cmdStore(args []string) {
 	}
 }
 
+// cmdTrace analyzes trace files written by `expresso check -trace` or
+// `expresso serve -trace`: a human summary of one run, a stage-by-stage
+// regression diff between two runs, or the largest BDD levels at the
+// memory watermark. `trace diff` exits 1 when a regression beyond the
+// threshold is detected, making it usable as a CI perf gate; operational
+// errors (unreadable file, schema mismatch) exit 2, matching `gate`.
+func cmdTrace(args []string) {
+	traceUsage := func() {
+		fmt.Fprintln(os.Stderr, `usage: expresso trace summarize FILE
+       expresso trace diff [-threshold 0.25] [-json] OLD NEW
+       expresso trace top [-n 10] FILE`)
+		os.Exit(2)
+	}
+	if len(args) < 1 {
+		traceUsage()
+	}
+	load := func(path string) *telemetry.Trace {
+		tr, err := traceview.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+			os.Exit(2)
+		}
+		return tr
+	}
+	switch args[0] {
+	case "summarize":
+		fs := flag.NewFlagSet("trace summarize", flag.ExitOnError)
+		fs.Usage = traceUsage
+		fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			traceUsage()
+		}
+		traceview.Summarize(os.Stdout, load(fs.Arg(0)))
+	case "diff":
+		fs := flag.NewFlagSet("trace diff", flag.ExitOnError)
+		threshold := fs.Float64("threshold", 0.25, "relative stage-duration growth that counts as a regression")
+		asJSON := fs.Bool("json", false, "print the full DiffReport as JSON")
+		fs.Usage = traceUsage
+		fs.Parse(args[1:])
+		if fs.NArg() != 2 {
+			traceUsage()
+		}
+		rep := traceview.Diff(load(fs.Arg(0)), load(fs.Arg(1)), *threshold)
+		if *asJSON {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(out))
+		} else {
+			traceview.WriteDiff(os.Stdout, rep)
+		}
+		if rep.Regressed {
+			os.Exit(1)
+		}
+	case "top":
+		fs := flag.NewFlagSet("trace top", flag.ExitOnError)
+		n := fs.Int("n", 10, "number of BDD levels to list")
+		fs.Usage = traceUsage
+		fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			traceUsage()
+		}
+		if err := traceview.Top(os.Stdout, load(fs.Arg(0)), *n); err != nil {
+			fmt.Fprintf(os.Stderr, "expresso: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		traceUsage()
+	}
+}
+
 func cmdStats(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	file := fs.String("file", "", "configuration file")
@@ -515,7 +594,7 @@ func cmdServe(args []string) {
 	drainWait := fs.Duration("drain", 30*time.Second, "max graceful drain time on SIGTERM")
 	logFormat := fs.String("log-format", "text", "structured log format: text or json")
 	trace := fs.Bool("trace", false, "record a run trace per job, served on GET /v1/jobs/{id}/trace")
-	debugAddr := fs.String("debug-addr", "", "serve pprof and /debug/stats on this extra address (e.g. localhost:6060)")
+	debugAddr := fs.String("debug-addr", "", "serve pprof, /debug/stats, /debug/bdd, and /debug/queue on this extra address (e.g. localhost:6060)")
 	storeDir := fs.String("store-dir", "", "persistent artifact store directory shared across replicas; restarts warm-start from it")
 	storeBudget := fs.Int64("store-budget", 0, "artifact store size budget in bytes; LRU blobs are evicted past it (0 = unlimited)")
 	fs.Parse(args)
@@ -551,7 +630,7 @@ func cmdServe(args []string) {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		go http.Serve(dln, service.DebugHandler())
+		go http.Serve(dln, srv.DebugHandler())
 		logger.Info("debug endpoints listening", "addr", dln.Addr().String())
 	}
 	sigCh := make(chan os.Signal, 1)

@@ -308,6 +308,7 @@ func (n *Network) VerifyContext(ctx context.Context, opts Options) (*Report, err
 		// A pre-loaded network has no config text, hence no digest.
 		opts.Trace.SetMeta("", opts.Mode.Key(), opts.CacheKey(), out.SRC.Workers)
 		traceStages(opts.Trace, out.Stages)
+		traceWatermark(opts.Trace, out.SRC)
 	}
 	return assembleReport(n.Topo.Statistics(), out), nil
 }
@@ -318,6 +319,32 @@ func traceStages(tr *Tracer, stages []StageInfo) {
 	for _, st := range stages {
 		tr.Span(st.Stage, st.Status, st.Key, st.Seed, st.Note, st.Duration)
 	}
+}
+
+// traceWatermark records the run's BDD memory footer: the peak-live-node
+// watermark, end-of-run population, complement share, and the ten
+// largest levels. The underlying Profile is an O(slab) walk, so it runs
+// only here — when a tracer is attached — keeping the zero-overhead
+// contract for untraced runs.
+func traceWatermark(tr *Tracer, src *pipeline.SRCArtifact) {
+	if !tr.Enabled() || src == nil {
+		return
+	}
+	p := src.BDDProfile()
+	wm := telemetry.Watermark{
+		PeakLiveNodes:   p.PeakLiveNodes,
+		PeakLiveBytes:   p.PeakLiveBytes,
+		Samples:         p.WatermarkSamples,
+		EndLiveNodes:    p.LiveNodes,
+		EndLiveBytes:    p.LiveBytes,
+		ComplementShare: p.ComplementShare,
+	}
+	for _, l := range p.TopLevels(10) {
+		wm.TopLevels = append(wm.TopLevels, telemetry.BDDLevel{
+			Level: l.Level, Nodes: l.Nodes, Bytes: l.Bytes,
+		})
+	}
+	tr.SetWatermark(wm)
 }
 
 // validate rejects option combinations the pipeline cannot run. Checked

@@ -1,0 +1,115 @@
+package expresso_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/telemetry"
+	"github.com/expresso-verify/expresso/internal/testnet"
+	"github.com/expresso-verify/expresso/internal/traceview"
+)
+
+// TestTraceDiffGolden is the end-to-end regression-attribution check
+// behind `expresso trace diff` (wired into CI as make trace-check): a
+// real traced run is written to disk, a copy with a deliberately inflated
+// spf stage is written beside it, and the diff must attribute the
+// slowdown to spf — and only spf — while the untouched stages, rounds,
+// and watermark report zero drift.
+func TestTraceDiffGolden(t *testing.T) {
+	tracer := expresso.NewTracer()
+	opts := expresso.Options{
+		Properties: []expresso.Kind{expresso.RouteLeakFree, expresso.TrafficHijackFree},
+		Trace:      tracer,
+	}
+	v := expresso.NewVerifier(expresso.VerifierConfig{})
+	if _, _, err := v.VerifyText(context.Background(), testnet.Figure4, opts); err != nil {
+		t.Fatal(err)
+	}
+	base := tracer.Finish()
+	if base.Watermark == nil || base.Watermark.PeakLiveNodes <= 0 {
+		t.Fatalf("traced run has no watermark footer: %+v", base.Watermark)
+	}
+
+	dir := t.TempDir()
+	writeTrace := func(name string, tr *telemetry.Trace) string {
+		t.Helper()
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := writeTrace("old.json", base)
+
+	// The injected slowdown: double spf and add 100ms — far beyond both
+	// the 25% relative threshold and the 1ms absolute floor. Everything
+	// else is byte-identical, so attribution is deterministic.
+	slow := *base
+	slow.Spans = append([]telemetry.Span(nil), base.Spans...)
+	var injected bool
+	for i, sp := range slow.Spans {
+		if sp.Name == "spf" {
+			grow := sp.Duration + int64(100*time.Millisecond)
+			slow.Spans[i].Duration += grow
+			slow.Duration += grow
+			injected = true
+		}
+	}
+	if !injected {
+		t.Fatal("trace has no spf span to inflate")
+	}
+	newPath := writeTrace("new.json", &slow)
+
+	oldTr, err := traceview.Load(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTr, err := traceview.Load(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := traceview.Diff(oldTr, newTr, 0.25)
+	if !rep.Regressed {
+		t.Fatal("injected spf slowdown not flagged as a regression")
+	}
+	if rep.Worst != "spf" {
+		t.Fatalf("worst stage = %q, want spf", rep.Worst)
+	}
+	for _, d := range rep.Stages {
+		if d.Stage == "spf" {
+			if !d.Regressed {
+				t.Errorf("spf not flagged: %+v", d)
+			}
+			continue
+		}
+		if d.Regressed {
+			t.Errorf("untouched stage %q flagged: %+v", d.Stage, d)
+		}
+		if d.DeltaNS != 0 {
+			t.Errorf("untouched stage %q has nonzero delta %d", d.Stage, d.DeltaNS)
+		}
+	}
+	for _, r := range rep.Rounds {
+		if r.GrowthDelta != 0 || r.DeltaNS != 0 {
+			t.Errorf("untouched round %d drifted: %+v", r.Round, r)
+		}
+	}
+	if rep.PeakDelta != 0 {
+		t.Errorf("watermark peak delta = %d, want 0", rep.PeakDelta)
+	}
+
+	// The reverse diff (slow → fast) must not flag: stages only regress
+	// when they grow.
+	if back := traceview.Diff(newTr, oldTr, 0.25); back.Regressed {
+		t.Fatalf("speedup flagged as regression: %+v", back)
+	}
+}

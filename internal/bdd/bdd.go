@@ -156,6 +156,14 @@ type Manager struct {
 	rcFreed atomic.Int64
 	rcPause atomic.Int64 // nanoseconds across all runs
 
+	// Peak-live-node high-watermark (see NoteWatermark): the largest live
+	// population ever observed at a sample point, and how many samples
+	// were taken. Sampling happens at deterministic quiescent boundaries
+	// (reclaim entry, EPVP round ends, SPF completion), so the recorded
+	// peak is schedule-independent.
+	peakLive  atomic.Int64
+	wmSamples atomic.Int64
+
 	numVars int
 
 	// fps memoizes structural fingerprints (see Fingerprint), keyed by
@@ -1335,6 +1343,9 @@ func (m *Manager) ReclaimStats() ReclaimStats {
 // numbers. Worker memos are invalidated automatically (lazily, via a
 // generation counter) on the next operation.
 func (m *Manager) Reclaim(roots ...Node) int {
+	// The live population is at a local maximum right before a sweep, so
+	// reclaim entry is one of the watermark's canonical sample points.
+	m.NoteWatermark()
 	start := time.Now()
 	n := uint32(m.next.Load())
 	marked := make([]uint64, (n+63)/64)

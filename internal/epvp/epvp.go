@@ -746,6 +746,11 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 		converged := len(changedNow) == 0
 		best = next
 		changedLast = changedNow
+		// Round end is a quiescent barrier (the WaitGroup above), and which
+		// round a node population belongs to does not depend on scheduling,
+		// so this watermark sample is schedule-independent. Two atomics —
+		// cheap enough to run whether or not tracing is on.
+		e.Space.M.NoteWatermark()
 		// Dead-node reclamation between rounds: once enough new nodes have
 		// been hash-consed, sweep everything unreachable from the round's
 		// live state. The forks are quiescent here (WaitGroup barrier), and
@@ -766,6 +771,7 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 		if e.Trace.Enabled() {
 			uhits1, nodes1 := e.Space.M.UniqueStats()
 			ihits1, imiss1 := e.memoStats(forks)
+			peak, _, _ := e.Space.M.Watermark()
 			e.Trace.Round(telemetry.RoundEvent{
 				Round:          iter + 1,
 				Recomputed:     len(work),
@@ -780,6 +786,7 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 				Reclaims:       rcRuns,
 				ReclaimedNodes: rcFreed,
 				ReclaimNS:      rcPause,
+				BDDPeak:        peak,
 				Duration:       time.Since(roundStart).Nanoseconds(),
 			})
 		}

@@ -132,6 +132,16 @@ func (a *SRCArtifact) unpinHandles() {
 func (a *SRCArtifact) lock()   { a.runLock.Lock() }
 func (a *SRCArtifact) unlock() { a.runLock.Unlock() }
 
+// BDDProfile snapshots the artifact's BDD manager under the run lock, so
+// the walk sees a quiescent node population even when the artifact is
+// shared with in-flight verifications. This is the introspection path
+// behind GET /debug/bdd; it runs only on demand, never inside the engine.
+func (a *SRCArtifact) BDDProfile() bdd.Profile {
+	a.lock()
+	defer a.unlock()
+	return a.Eng.Space.M.Profile()
+}
+
 // AnalysisArtifact is the output of the RoutingAnalysis and
 // ForwardingAnalysis stages: the violations of the stage's property
 // subset, in canonical in-stage order. Callers must not mutate the slice

@@ -5,18 +5,24 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"time"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/bdd"
 )
 
 // DebugHandler returns the debug mux mounted by `expresso serve
-// -debug-addr`: the full net/http/pprof suite plus a one-shot runtime
-// snapshot. It is deliberately a separate handler so profiling endpoints
-// are never exposed on the public API listener.
+// -debug-addr`: the full net/http/pprof suite, a one-shot runtime
+// snapshot, and the engine introspection endpoints. It is deliberately a
+// separate handler so none of this is ever exposed on the public API
+// listener.
 //
 //	GET /debug/pprof/          profile index
 //	GET /debug/pprof/profile   30s CPU profile
 //	GET /debug/pprof/{name}    heap, goroutine, block, mutex, ...
 //	GET /debug/stats           runtime stats as JSON
-func DebugHandler() http.Handler {
+//	GET /debug/bdd             per-manager BDD profiles (levels, watermark)
+//	GET /debug/queue           queue depth, oldest-job age, per-baseline counts
+func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -24,7 +30,32 @@ func DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /debug/stats", handleDebugStats)
+	mux.HandleFunc("GET /debug/bdd", s.handleDebugBDD)
+	mux.HandleFunc("GET /debug/queue", s.handleDebugQueue)
 	return mux
+}
+
+// debugBDD is the GET /debug/bdd body: one profile per live BDD manager
+// (registered baselines and cached SRC artifacts) plus the process-wide
+// reclamation totals. Profiles are computed on demand — the walk is
+// O(slab) per manager and serializes briefly against verifications
+// sharing the manager, which is why this lives on the debug listener.
+type debugBDD struct {
+	Managers []expresso.BDDProfile `json:"managers"`
+	Reclaim  bdd.ReclaimStats      `json:"reclaim"`
+	Time     time.Time             `json:"time"`
+}
+
+func (s *Server) handleDebugBDD(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, debugBDD{
+		Managers: s.verifier.BDDProfiles(),
+		Reclaim:  bdd.GlobalReclaimStats(),
+		Time:     time.Now(),
+	})
+}
+
+func (s *Server) handleDebugQueue(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.QueueStats())
 }
 
 // debugStats is the GET /debug/stats body.

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/telemetry"
+	"github.com/expresso-verify/expresso/internal/testnet"
+)
+
+// syncBuffer is a concurrency-safe log sink: slog handlers may be called
+// from the worker pool and the submission path at once.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func drainServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+}
+
+// TestSupersededSlogEvent pins the structured lifecycle record the
+// coalescing queue emits: retiring a queued delta logs "job superseded"
+// with the loser's ID, the winning job's ID, the baseline, and how long
+// the loser waited.
+func TestSupersededSlogEvent(t *testing.T) {
+	var buf syncBuffer
+	s := New(Config{
+		Workers: 1,
+		Logger:  slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	base := testnet.Figure4Fixed
+	registerBaseline(t, s, "prod", base)
+
+	jobs := make([]*Job, 2)
+	for i := range jobs {
+		patch, _ := deltaPatch(t, base, i)
+		job, hit, err := s.SubmitDelta("prod", patch, expresso.Options{Workers: 1}, 0)
+		if err != nil || hit {
+			t.Fatalf("SubmitDelta %d: err=%v hit=%v", i, err, hit)
+		}
+		jobs[i] = job
+	}
+	// The pool is not started, so the second submission retired the first
+	// synchronously; the event is already in the buffer.
+	var found bool
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["msg"] != "job superseded" {
+			continue
+		}
+		found = true
+		if rec["job"] != jobs[0].ID {
+			t.Errorf("superseded event job = %v, want %v", rec["job"], jobs[0].ID)
+		}
+		if rec["by"] != jobs[1].ID {
+			t.Errorf("superseded event by = %v, want winner %v", rec["by"], jobs[1].ID)
+		}
+		if rec["baseline"] != "prod" {
+			t.Errorf("superseded event baseline = %v, want prod", rec["baseline"])
+		}
+		if _, ok := rec["queued_for"]; !ok {
+			t.Errorf("superseded event missing queued_for: %v", rec)
+		}
+	}
+	if !found {
+		t.Fatalf("no \"job superseded\" record in log:\n%s", buf.String())
+	}
+
+	s.Start()
+	drainServer(t, s)
+}
+
+// TestDeltaJobTraceSeedProvenance checks that a delta job run with
+// tracing enabled records the warm start's provenance: the SRC stage span
+// carries status "warm" and the baseline artifact's digest as its seed.
+func TestDeltaJobTraceSeedProvenance(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Trace: true})
+	base := testnet.Figure4Fixed
+	registerBaseline(t, s, "prod", base)
+
+	patch, _ := deltaPatch(t, base, 1)
+	job, hit, err := s.SubmitDelta("prod", patch, expresso.Options{Workers: 1}, 0)
+	if err != nil || hit {
+		t.Fatalf("SubmitDelta: err=%v hit=%v", err, hit)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("delta job did not finish")
+	}
+	if st := job.State(); st != JobDone {
+		t.Fatalf("job state = %q, want done (err %q)", st, job.Status().Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d, want 200", resp.StatusCode)
+	}
+	var tr telemetry.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	var seeded bool
+	for _, sp := range tr.Spans {
+		if sp.Name != "src" {
+			continue
+		}
+		if sp.Status != "warm" {
+			t.Fatalf("src span status = %q, want warm (delta must warm-start from the baseline)", sp.Status)
+		}
+		if sp.Seed == "" {
+			t.Fatalf("src span has no seed digest: %+v", sp)
+		}
+		if !strings.Contains(sp.Note, "baseline=prod") {
+			t.Errorf("src span note = %q, want baseline=prod provenance", sp.Note)
+		}
+		seeded = true
+	}
+	if !seeded {
+		t.Fatalf("trace has no src span: %+v", tr.Spans)
+	}
+	if tr.Watermark == nil || tr.Watermark.PeakLiveNodes <= 0 {
+		t.Errorf("trace watermark missing or empty: %+v", tr.Watermark)
+	}
+}
+
+// TestSupersededJobHasNoTrace: a delta retired before it ran must not
+// leave an orphaned trace — Trace() is nil and the HTTP trace endpoint
+// answers 404 for it, while the winner's trace is served normally.
+func TestSupersededJobHasNoTrace(t *testing.T) {
+	s := New(Config{Workers: 1, Trace: true})
+	base := testnet.Figure4Fixed
+	registerBaseline(t, s, "prod", base)
+
+	jobs := make([]*Job, 2)
+	for i := range jobs {
+		patch, _ := deltaPatch(t, base, i)
+		job, _, err := s.SubmitDelta("prod", patch, expresso.Options{Workers: 1}, 0)
+		if err != nil {
+			t.Fatalf("SubmitDelta %d: %v", i, err)
+		}
+		jobs[i] = job
+	}
+	if st := jobs[0].State(); st != JobSuperseded {
+		t.Fatalf("loser state = %q, want superseded", st)
+	}
+
+	s.Start()
+	select {
+	case <-jobs[1].Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("winner job did not finish")
+	}
+	if tr := jobs[0].Trace(); tr != nil {
+		t.Fatalf("superseded job has a trace: %+v", tr)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	get := func(id string) int {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(jobs[0].ID); code != http.StatusNotFound {
+		t.Errorf("GET superseded trace = %d, want 404", code)
+	}
+	if code := get(jobs[1].ID); code != http.StatusOK {
+		t.Errorf("GET winner trace = %d, want 200", code)
+	}
+	drainServer(t, s)
+}

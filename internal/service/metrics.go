@@ -9,6 +9,7 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -49,6 +50,12 @@ type Metrics struct {
 	stageNanos [5]int64 // load, SRC, routing analysis, SPF, forwarding analysis
 	stageJobs  int64
 	stageHists [5]histogram
+	// Per-baseline SLO histograms ("" keys anonymous /v1/verify jobs):
+	// queueWait is submit-to-start, verdict is submit-to-report — the
+	// operator-facing delta-gatekeeper latencies. Cardinality is bounded
+	// by the registered-baseline count, which the registry keeps small.
+	queueWait map[string]*histogram
+	verdict   map[string]*histogram
 }
 
 // histBuckets are the fixed upper bounds (seconds) of the stage-latency
@@ -78,6 +85,38 @@ func (h *histogram) observe(seconds float64) {
 	h.count++
 }
 
+// ObserveQueueWait records how long a job sat in the FIFO queue before a
+// worker claimed it, labeled by the baseline it targets ("" = anonymous).
+func (m *Metrics) ObserveQueueWait(baseline string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.queueWait == nil {
+		m.queueWait = map[string]*histogram{}
+	}
+	h := m.queueWait[baseline]
+	if h == nil {
+		h = &histogram{}
+		m.queueWait[baseline] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// ObserveVerdict records a completed job's submit-to-report latency —
+// queue wait plus verification — labeled by baseline ("" = anonymous).
+func (m *Metrics) ObserveVerdict(baseline string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.verdict == nil {
+		m.verdict = map[string]*histogram{}
+	}
+	h := m.verdict[baseline]
+	if h == nil {
+		h = &histogram{}
+		m.verdict[baseline] = h
+	}
+	h.observe(d.Seconds())
+}
+
 // ObserveTiming accumulates one completed job's per-stage durations into
 // both the cumulative counters and the stage-latency histograms.
 func (m *Metrics) ObserveTiming(t expresso.Timing) {
@@ -105,12 +144,28 @@ func (m *Metrics) StageTotals() (expresso.Timing, int64) {
 	}, m.stageJobs
 }
 
+// Snapshot carries the point-in-time values the server supplies to
+// WriteText alongside the Metrics counters: queue gauges, sizing, the
+// verifier's cache and store state, and the binary's build identity.
+type Snapshot struct {
+	QueueDepth int
+	// OldestQueuedSeconds is the age of the oldest still-queued job, 0
+	// when nothing is waiting.
+	OldestQueuedSeconds float64
+	Workers             int
+	EngineWorkers       int
+	Baselines           int
+	CacheStats          []expresso.StageCacheStat
+	StoreStats          *expresso.StoreStats
+	// Version/Revision/GoVersion label expresso_build_info.
+	Version   string
+	Revision  string
+	GoVersion string
+}
+
 // WriteText renders the counters in Prometheus text exposition format.
-// queueDepth, workers, engineWorkers, and baselines are point-in-time
-// gauges supplied by the server; cacheStats is the verifier's per-stage
-// cache snapshot and storeStats, when non-nil, the persistent
-// artifact-store tier's counters.
-func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers, baselines int, cacheStats []expresso.StageCacheStat, storeStats *expresso.StoreStats) {
+// snap carries the point-in-time gauges supplied by the server.
+func (m *Metrics) WriteText(w io.Writer, snap Snapshot) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -126,10 +181,14 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers, bas
 	counter("expresso_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	counter("expresso_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
 	counter("expresso_engine_runs_total", "Verifications that entered the EPVP engine.", m.EngineRuns.Load())
-	gauge("expresso_queue_depth", "Jobs waiting in the FIFO queue.", int64(queueDepth))
-	gauge("expresso_workers", "Size of the worker pool.", int64(workers))
-	gauge("expresso_engine_workers", "Engine goroutines per verification job.", int64(engineWorkers))
-	gauge("expresso_baselines", "Registered named baselines.", int64(baselines))
+	gauge("expresso_queue_depth", "Jobs waiting in the FIFO queue.", int64(snap.QueueDepth))
+	fmt.Fprintf(w, "# HELP expresso_queue_oldest_seconds Age of the oldest still-queued job.\n# TYPE expresso_queue_oldest_seconds gauge\nexpresso_queue_oldest_seconds %.6f\n",
+		snap.OldestQueuedSeconds)
+	gauge("expresso_workers", "Size of the worker pool.", int64(snap.Workers))
+	gauge("expresso_engine_workers", "Engine goroutines per verification job.", int64(snap.EngineWorkers))
+	gauge("expresso_baselines", "Registered named baselines.", int64(snap.Baselines))
+	fmt.Fprintf(w, "# HELP expresso_build_info Build identity of the running binary (value is constant 1).\n# TYPE expresso_build_info gauge\nexpresso_build_info{version=%q,revision=%q,go=%q} 1\n",
+		snap.Version, snap.Revision, snap.GoVersion)
 
 	rc := bdd.GlobalReclaimStats()
 	counter("expresso_bdd_reclaims_total", "Dead-node sweeps across all BDD managers.", rc.Runs)
@@ -168,6 +227,48 @@ func (m *Metrics) WriteText(w io.Writer, queueDepth, workers, engineWorkers, bas
 		fmt.Fprintf(w, "expresso_stage_duration_seconds_count{stage=%q} %d\n", label, h.count)
 	}
 
+	// Per-baseline SLO histograms. Keys are sorted so scrapes are stable.
+	m.mu.Lock()
+	qw := make(map[string]histogram, len(m.queueWait))
+	for k, h := range m.queueWait {
+		qw[k] = *h
+	}
+	vd := make(map[string]histogram, len(m.verdict))
+	for k, h := range m.verdict {
+		vd[k] = *h
+	}
+	m.mu.Unlock()
+	labeledHist := func(name, help string, hs map[string]histogram) {
+		if len(hs) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(hs))
+		for k := range hs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, k := range keys {
+			h := hs[k]
+			var cum int64
+			for b, le := range histBuckets {
+				cum += h.counts[b]
+				fmt.Fprintf(w, "%s_bucket{baseline=%q,le=%q} %d\n",
+					name, k, strconv.FormatFloat(le, 'g', -1, 64), cum)
+			}
+			cum += h.counts[len(histBuckets)]
+			fmt.Fprintf(w, "%s_bucket{baseline=%q,le=\"+Inf\"} %d\n", name, k, cum)
+			fmt.Fprintf(w, "%s_sum{baseline=%q} %.6f\n", name, k, h.sum)
+			fmt.Fprintf(w, "%s_count{baseline=%q} %d\n", name, k, h.count)
+		}
+	}
+	labeledHist("expresso_job_queue_wait_seconds",
+		"Submit-to-start latency by baseline (\"\" = anonymous jobs).", qw)
+	labeledHist("expresso_job_verdict_seconds",
+		"Submit-to-report latency by baseline (\"\" = anonymous jobs).", vd)
+
+	cacheStats := snap.CacheStats
+	storeStats := snap.StoreStats
 	if len(cacheStats) > 0 {
 		fmt.Fprintf(w, "# HELP expresso_stage_cache_hits_total Stage-cache hits by pipeline stage.\n# TYPE expresso_stage_cache_hits_total counter\n")
 		for _, st := range cacheStats {

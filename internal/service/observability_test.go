@@ -168,6 +168,79 @@ func TestMetricsExpositionFormat(t *testing.T) {
 		}
 	}
 
+	// Build-info gauge: constant 1, labeled with the binary's identity.
+	if bi, ok := families["expresso_build_info"]; !ok {
+		t.Error("expresso_build_info missing")
+	} else {
+		if bi.typ != "gauge" {
+			t.Errorf("expresso_build_info TYPE = %q, want gauge", bi.typ)
+		}
+		if len(bi.samples) != 1 {
+			t.Fatalf("expresso_build_info has %d samples, want 1", len(bi.samples))
+		}
+		s := bi.samples[0]
+		if s.value != 1 {
+			t.Errorf("expresso_build_info value = %g, want 1", s.value)
+		}
+		if s.labels["go"] != runtime.Version() {
+			t.Errorf("expresso_build_info go = %q, want %q", s.labels["go"], runtime.Version())
+		}
+		for _, l := range []string{"version", "revision"} {
+			if _, ok := s.labels[l]; !ok {
+				t.Errorf("expresso_build_info missing label %q", l)
+			}
+		}
+	}
+
+	// Queue gauges: nothing is waiting after two Wait=true jobs.
+	for _, name := range []string{"expresso_queue_depth", "expresso_queue_oldest_seconds"} {
+		g, ok := families[name]
+		if !ok {
+			t.Errorf("%s missing", name)
+			continue
+		}
+		if g.typ != "gauge" {
+			t.Errorf("%s TYPE = %q, want gauge", name, g.typ)
+		}
+		if len(g.samples) != 1 || g.samples[0].value != 0 {
+			t.Errorf("%s = %+v, want single 0 sample", name, g.samples)
+		}
+	}
+
+	// Per-baseline SLO histograms: both Wait=true submissions were
+	// anonymous, and only the first ran (the second hit the result cache),
+	// so each family has exactly one observation under baseline="".
+	for _, name := range []string{"expresso_job_queue_wait_seconds", "expresso_job_verdict_seconds"} {
+		h, ok := families[name]
+		if !ok {
+			t.Errorf("%s missing", name)
+			continue
+		}
+		if h.typ != "histogram" {
+			t.Errorf("%s TYPE = %q, want histogram", name, h.typ)
+		}
+		var count, inf float64
+		var haveCount, haveInf bool
+		for _, s := range h.samples {
+			if b, ok := s.labels["baseline"]; !ok {
+				t.Errorf("%s sample %s has no baseline label", name, s.name)
+			} else if b != "" {
+				t.Errorf("%s sample has baseline %q, want anonymous", name, b)
+			}
+			switch {
+			case s.name == name+"_count":
+				count, haveCount = s.value, true
+			case s.name == name+"_bucket" && s.labels["le"] == "+Inf":
+				inf, haveInf = s.value, true
+			}
+		}
+		if !haveCount || !haveInf {
+			t.Errorf("%s missing _count or +Inf bucket", name)
+		} else if count != 1 || inf != 1 {
+			t.Errorf("%s count = %g, +Inf = %g, want 1 observation", name, count, inf)
+		}
+	}
+
 	hist, ok := families["expresso_stage_duration_seconds"]
 	if !ok {
 		t.Fatal("expresso_stage_duration_seconds histogram missing")
@@ -357,10 +430,14 @@ func TestTraceDisabledByDefault(t *testing.T) {
 	}
 }
 
-// TestDebugHandler checks the debug mux serves the pprof index and the
-// runtime-stats snapshot.
+// TestDebugHandler checks the debug mux serves the pprof index, the
+// runtime-stats snapshot, and the engine introspection endpoints.
 func TestDebugHandler(t *testing.T) {
-	h := DebugHandler()
+	s, ts := newTestServer(t, Config{Workers: 1})
+	postVerify(t, ts, VerifyRequest{
+		Config: testnet.Figure4Fixed, Properties: []string{"leak"}, Wait: true,
+	})
+	h := s.DebugHandler()
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
@@ -382,5 +459,42 @@ func TestDebugHandler(t *testing.T) {
 	}
 	if st.Goroutines <= 0 || st.NumCPU <= 0 || st.HeapAlloc == 0 {
 		t.Errorf("implausible runtime stats: %+v", st)
+	}
+
+	// /debug/bdd: the completed job left its SRC artifact in the stage
+	// cache, so at least one manager profile must be reported, with a
+	// populated level histogram and watermark.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/bdd", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug bdd status = %d", rec.Code)
+	}
+	var bddBody debugBDD
+	if err := json.NewDecoder(rec.Body).Decode(&bddBody); err != nil {
+		t.Fatalf("decode bdd: %v", err)
+	}
+	if len(bddBody.Managers) == 0 {
+		t.Fatal("debug bdd reports no managers after a completed job")
+	}
+	p := bddBody.Managers[0].Profile
+	if p.LiveNodes <= 0 || len(p.Levels) == 0 {
+		t.Errorf("empty profile: live=%d levels=%d", p.LiveNodes, len(p.Levels))
+	}
+	if p.PeakLiveNodes < p.LiveNodes {
+		t.Errorf("peak %d < live %d", p.PeakLiveNodes, p.LiveNodes)
+	}
+
+	// /debug/queue: idle after the Wait=true job.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/queue", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug queue status = %d", rec.Code)
+	}
+	var qs QueueStats
+	if err := json.NewDecoder(rec.Body).Decode(&qs); err != nil {
+		t.Fatalf("decode queue: %v", err)
+	}
+	if qs.Depth != 0 || qs.Running != 0 {
+		t.Errorf("queue not idle: %+v", qs)
 	}
 }

@@ -306,7 +306,7 @@ func (s *Server) submit(configText, baseline string, opts expresso.Options, time
 	}
 	if prev != nil && prev.trySupersede(job.ID, now) {
 		s.Metrics.JobsCoalesced.Add(1)
-		s.log.Info("job superseded", "job", prev.ID, "by", job.ID, "baseline", baseline)
+		s.logSuperseded(prev, job.ID, now)
 	}
 	s.Metrics.JobsAccepted.Add(1)
 	s.register(job)
@@ -325,8 +325,16 @@ func (s *Server) supersedePending(job *Job, now time.Time) {
 	if prev != nil && prev != job && prev.trySupersede(job.ID, now) {
 		s.Metrics.JobsCoalesced.Add(1)
 		s.clearPending(prev)
-		s.log.Info("job superseded", "job", prev.ID, "by", job.ID, "baseline", job.baseline)
+		s.logSuperseded(prev, job.ID, now)
 	}
+}
+
+// logSuperseded records the coalescing queue's lifecycle event: the
+// queued delta job that was retired, the winning job that replaced it,
+// and how long the loser sat in the queue before being coalesced away.
+func (s *Server) logSuperseded(prev *Job, winnerID string, now time.Time) {
+	s.log.Info("job superseded", "job", prev.ID, "by", winnerID,
+		"baseline", prev.baseline, "queued_for", now.Sub(prev.created))
 }
 
 // clearPending drops the job from the pending table if it is still the
@@ -387,6 +395,72 @@ func (s *Server) QueueDepth() int {
 	return len(s.queue)
 }
 
+// BaselineQueueStat is one baseline's share of the in-flight work.
+type BaselineQueueStat struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// QueueStats is the GET /debug/queue body and the source of the /metrics
+// queue gauges: a point-in-time view of the FIFO queue and the worker
+// pool, broken down by delta-job baseline ("" = anonymous jobs).
+type QueueStats struct {
+	// Depth is the FIFO queue population (0 while draining).
+	Depth int `json:"depth"`
+	// Queued/Running count jobs by lifecycle state across the tracked
+	// registry; OldestJob and OldestSeconds identify the queued job that
+	// has waited longest.
+	Queued        int     `json:"queued"`
+	Running       int     `json:"running"`
+	OldestJob     string  `json:"oldest_job,omitempty"`
+	OldestSeconds float64 `json:"oldest_seconds"`
+	// PerBaseline splits the queued/running counts by target baseline;
+	// anonymous verification jobs appear under "".
+	PerBaseline map[string]BaselineQueueStat `json:"per_baseline,omitempty"`
+}
+
+// QueueStats snapshots the queue for /debug/queue and the SLO gauges.
+func (s *Server) QueueStats() QueueStats {
+	s.mu.Lock()
+	qs := QueueStats{Depth: len(s.queue)}
+	if s.draining {
+		qs.Depth = 0
+	}
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	now := time.Now()
+	var oldest time.Time
+	for _, j := range jobs {
+		st := j.State()
+		if st != JobQueued && st != JobRunning {
+			continue
+		}
+		if qs.PerBaseline == nil {
+			qs.PerBaseline = map[string]BaselineQueueStat{}
+		}
+		bs := qs.PerBaseline[j.baseline]
+		if st == JobQueued {
+			qs.Queued++
+			bs.Queued++
+			if oldest.IsZero() || j.created.Before(oldest) {
+				oldest = j.created
+				qs.OldestJob = j.ID
+			}
+		} else {
+			qs.Running++
+			bs.Running++
+		}
+		qs.PerBaseline[j.baseline] = bs
+	}
+	if !oldest.IsZero() {
+		qs.OldestSeconds = now.Sub(oldest).Seconds()
+	}
+	return qs
+}
+
 func (s *Server) runJob(job *Job) {
 	// This worker owns the job now; it is no longer a supersede target.
 	s.clearPending(job)
@@ -408,7 +482,9 @@ func (s *Server) runJob(job *Job) {
 		s.log.Info("job skipped (superseded)", "job", job.ID, "by", job.SupersededBy())
 		return
 	}
-	s.log.Info("job started", "job", job.ID, "digest", job.Digest)
+	s.Metrics.ObserveQueueWait(job.baseline, start.Sub(job.created))
+	s.log.Info("job started", "job", job.ID, "digest", job.Digest,
+		"queue_wait", start.Sub(job.created))
 	ctx := job.ctx
 	if job.timeout > 0 {
 		var cancel context.CancelFunc
@@ -448,9 +524,11 @@ func (s *Server) runJob(job *Job) {
 		}
 		s.Metrics.JobsCompleted.Add(1)
 		s.Metrics.ObserveTiming(rep.Timing)
+		s.Metrics.ObserveVerdict(job.baseline, now.Sub(job.created))
 		job.finish(JobDone, rep, "", now)
 		s.log.Info("job done", "job", job.ID, "state", JobDone,
-			"duration", now.Sub(start), "iterations", rep.Iterations)
+			"duration", now.Sub(start), "verdict", now.Sub(job.created),
+			"iterations", rep.Iterations)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.Metrics.JobsCancelled.Add(1)
 		job.finish(JobCancelled, nil, err.Error(), now)
@@ -844,5 +922,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.verifier.StoreTraffic(); ok {
 		storeStats = &st
 	}
-	s.Metrics.WriteText(w, s.QueueDepth(), s.cfg.Workers, s.cfg.EngineWorkers, s.verifier.BaselineCount(), s.verifier.CacheStats(), storeStats)
+	qs := s.QueueStats()
+	bi := buildInfo()
+	s.Metrics.WriteText(w, Snapshot{
+		QueueDepth:          qs.Depth,
+		OldestQueuedSeconds: qs.OldestSeconds,
+		Workers:             s.cfg.Workers,
+		EngineWorkers:       s.cfg.EngineWorkers,
+		Baselines:           s.verifier.BaselineCount(),
+		CacheStats:          s.verifier.CacheStats(),
+		StoreStats:          storeStats,
+		Version:             bi.Version,
+		Revision:            bi.Revision,
+		GoVersion:           bi.GoVersion,
+	})
 }

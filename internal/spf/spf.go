@@ -216,6 +216,11 @@ func RunTraced(ctx context.Context, eng *epvp.Engine, cp *epvp.Result, tr *telem
 		i := (v - r.varBase) % n
 		r.DataVarsPerNeighbor[eng.Net.Externals[i]]++
 	}
+	// SPF builds the run's largest node population (33 data-plane vars per
+	// neighbor layered onto the control plane), and forwardAll's barrier
+	// just made this point quiescent — the watermark's highest-value
+	// sample. Always on: two atomics.
+	eng.Space.M.NoteWatermark()
 	return r, nil
 }
 

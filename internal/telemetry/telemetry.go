@@ -94,7 +94,11 @@ type RoundEvent struct {
 	Reclaims       int64 `json:"reclaims,omitempty"`
 	ReclaimedNodes int64 `json:"reclaimed_nodes,omitempty"`
 	ReclaimNS      int64 `json:"reclaim_ns,omitempty"`
-	Duration       int64 `json:"duration_ns"`
+	// BDDPeak is the manager's peak-live-node watermark as of this round's
+	// end — the running maximum over the schedule-independent sample
+	// points, not a per-round quantity.
+	BDDPeak  int64 `json:"bdd_peak,omitempty"`
+	Duration int64 `json:"duration_ns"`
 }
 
 // FIBEvent records one router's symbolic FIB compilation during SPF.
@@ -125,6 +129,35 @@ type CoalesceEvent struct {
 	Coalesced int    `json:"coalesced_pecs"`
 }
 
+// BDDLevel is one row of a per-level BDD node attribution: live nodes
+// deciding on one variable level and their slab-byte cost. It mirrors
+// bdd.LevelProfile structurally; telemetry stays import-free of the
+// engine packages, so producers convert.
+type BDDLevel struct {
+	Level int   `json:"level"`
+	Nodes int64 `json:"nodes"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Watermark is the trace footer's BDD memory section: the peak live-node
+// population across the run (sampled at reclaim boundaries, EPVP round
+// ends, and SPF completion — deterministic quiescent points, so the peak
+// is identical at any worker count), the end-of-run population, the
+// complement-edge share, and the largest levels by live nodes (the direct
+// input to variable-reordering and compression work).
+type Watermark struct {
+	PeakLiveNodes int64 `json:"peak_live_nodes"`
+	PeakLiveBytes int64 `json:"peak_live_bytes"`
+	// Samples counts watermark sample points hit during the run.
+	Samples      int64 `json:"samples"`
+	EndLiveNodes int64 `json:"end_live_nodes"`
+	EndLiveBytes int64 `json:"end_live_bytes"`
+	// ComplementShare is the fraction of live nodes whose low edge
+	// carries the complement bit at end of run.
+	ComplementShare float64    `json:"complement_share"`
+	TopLevels       []BDDLevel `json:"top_levels,omitempty"`
+}
+
 // Trace is the frozen JSON document describing one verification run.
 type Trace struct {
 	Schema string `json:"schema"`
@@ -145,6 +178,9 @@ type Trace struct {
 	SPFFIBs     []FIBEvent      `json:"spf_fibs,omitempty"`
 	SPFForwards []ForwardEvent  `json:"spf_forwards,omitempty"`
 	PECCoalesce []CoalesceEvent `json:"pec_coalesce,omitempty"`
+	// Watermark is the run's BDD memory footer (nil when the producer
+	// predates it or the run never touched a BDD manager).
+	Watermark *Watermark `json:"watermark,omitempty"`
 }
 
 // Tracer records one run's trace. The zero value is NOT ready for use —
@@ -200,6 +236,17 @@ func (t *Tracer) Span(name, status, key, seed, note string, d time.Duration) {
 		Name: name, Status: status, Key: key, Seed: seed, Note: note,
 		StartNS: startNS, Duration: d.Nanoseconds(),
 	})
+}
+
+// SetWatermark attaches the run's BDD memory footer. Later calls
+// overwrite earlier ones, so producers record it once, at end of run.
+func (t *Tracer) SetWatermark(w Watermark) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.trace.Watermark = &w
 }
 
 // Round records one EPVP fixed-point round.

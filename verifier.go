@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/expresso-verify/expresso/internal/bdd"
 	"github.com/expresso-verify/expresso/internal/pipeline"
 	"github.com/expresso-verify/expresso/internal/store"
 )
@@ -132,6 +133,56 @@ type RunInfo struct {
 	Stages []StageInfo `json:"stages"`
 }
 
+// BDDProfile is one live BDD manager's structural snapshot, named by the
+// surface holding it: a registered baseline or the SRC stage cache.
+type BDDProfile struct {
+	// Origin is "baseline" (a registered, pinned converged state) or
+	// "src-cache" (an anonymous cached SRC artifact).
+	Origin string `json:"origin"`
+	// Name is the baseline name, or the artifact digest for cache entries.
+	Name    string      `json:"name"`
+	Profile bdd.Profile `json:"profile"`
+}
+
+// BDDProfiles snapshots every live BDD manager the verifier holds —
+// registered baselines first (name order), then anonymous SRC cache
+// entries (recency order). Warm-started artifacts share their seed's
+// manager, so shared managers are profiled once, under the first name
+// encountered. Each snapshot takes that artifact's run lock, briefly
+// serializing against verifications sharing the manager — this is the
+// on-demand path behind GET /debug/bdd, not engine machinery.
+func (v *Verifier) BDDProfiles() []BDDProfile {
+	type target struct {
+		origin, name string
+		art          *pipeline.SRCArtifact
+	}
+	var targets []target
+	seen := map[*bdd.Manager]bool{}
+	for _, b := range v.baselines.List() {
+		if b.SRC == nil || seen[b.SRC.Eng.Space.M] {
+			continue
+		}
+		seen[b.SRC.Eng.Space.M] = true
+		targets = append(targets, target{"baseline", b.Name, b.SRC})
+	}
+	// Collect first, profile after: Scan holds the cache lock, and
+	// profiling takes artifact run locks whose holders may be about to
+	// insert into the cache.
+	v.cache.Scan(pipeline.StageSRC, func(val any) bool {
+		a := val.(*pipeline.SRCArtifact)
+		if !seen[a.Eng.Space.M] {
+			seen[a.Eng.Space.M] = true
+			targets = append(targets, target{"src-cache", a.Digest, a})
+		}
+		return false
+	})
+	out := make([]BDDProfile, 0, len(targets))
+	for _, t := range targets {
+		out = append(out, BDDProfile{Origin: t.origin, Name: t.name, Profile: t.art.BDDProfile()})
+	}
+	return out
+}
+
 // ReportDigest is the digest identifying a verification request — the
 // canonicalized configuration text plus the normalized options — used as
 // the report-cache key by Verifier and the service.
@@ -198,6 +249,7 @@ func (v *Verifier) verifyText(ctx context.Context, baseline, configText string, 
 	if opts.Trace != nil {
 		opts.Trace.SetMeta(info.Digest, opts.Mode.Key(), opts.CacheKey(), out.SRC.Workers)
 		traceStages(opts.Trace, info.Stages)
+		traceWatermark(opts.Trace, out.SRC)
 	}
 	return rep, info, nil
 }

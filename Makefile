@@ -10,9 +10,9 @@ GO ?= go
 # engine under the race detector.
 RACE_WORKERS ?= 4
 
-.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd bench-store bench-workers bench-delta bench-memwatermark store-check gate-check trace-check alloc-guard
+.PHONY: ci vet staticcheck build test race race-parallel race-service bench-quick bench-incremental bench-trace bench-bdd bench-store bench-workers bench-delta bench-memwatermark bench-reorder store-check gate-check trace-check reorder-check alloc-guard
 
-ci: vet staticcheck build race race-parallel store-check gate-check trace-check alloc-guard
+ci: vet staticcheck build race race-parallel store-check gate-check trace-check reorder-check alloc-guard
 
 vet:
 	$(GO) vet ./...
@@ -149,6 +149,24 @@ gate-check:
 trace-check:
 	$(GO) test . -run 'TestTraceDiffGolden|TestVerifyTextTrace|TestVerifyTrace' -count=1
 	$(GO) test -count=1 ./internal/traceview/
+
+# Dynamic-reordering gate: the forced-sifting determinism matrix (byte-
+# identical reports across worker counts, reclamation schedules, and a
+# disk-warm restart), the static-order testnet assertion, and the sifting
+# engine's unit suite (swap canonicity, order-independent fingerprints,
+# cross-order serialization).
+reorder-check:
+	$(GO) test . -run 'TestReorderDeterminismMatrix|TestReorderDiskWarmByteIdentical' -count=1 -timeout 15m
+	$(GO) test ./internal/epvp/ -run 'TestInterleavedOrderShrinksTestnet' -count=1
+	$(GO) test -count=1 ./internal/bdd/
+
+# The PR-10 recorded numbers: the region-1 memory watermark under the
+# interleaved static order alone and with a forced sifting budget,
+# with deltas against the PR-9 blocked-order baseline, into
+# BENCH_pr10.json.
+bench-reorder:
+	EXPRESSO_BENCH_REORDER=1 $(GO) test . -run TestRegion1ReorderBench -count=1 -v -timeout 30m
+	@cat BENCH_pr10.json
 
 # Memory watermark on region 1: one traced verification, recording the
 # schedule-independent peak live BDD nodes/bytes (sampled at reclaim

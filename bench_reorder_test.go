@@ -1,0 +1,118 @@
+package expresso_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/expresso-verify/expresso"
+	"github.com/expresso-verify/expresso/internal/bdd"
+	"github.com/expresso-verify/expresso/internal/netgen"
+)
+
+// pr9PeakLiveNodes is the region-1 peak recorded in BENCH_pr9.json under
+// the blocked variable order with no reordering; PR 10's acceptance bar
+// is a measurable drop against it.
+const pr9PeakLiveNodes = 1261696
+
+// pr9PeakLiveBytes is the matching byte watermark from BENCH_pr9.json.
+const pr9PeakLiveBytes = 15140352
+
+// TestRegion1ReorderBench records BENCH_pr10.json: the region-1 memory
+// watermark under the interleaved static order alone ("static" leg,
+// reordering off) and with a forced sifting budget on top ("sift" leg).
+// Gated behind EXPRESSO_BENCH_REORDER because it runs the full region-1
+// fixture twice and writes a file into the repository; `make
+// bench-reorder` sets it.
+func TestRegion1ReorderBench(t *testing.T) {
+	if os.Getenv("EXPRESSO_BENCH_REORDER") == "" {
+		t.Skip("set EXPRESSO_BENCH_REORDER=1 (make bench-reorder) to record the region-1 reorder bench")
+	}
+	text := netgen.CSP(netgen.CSPOldRegion(1))
+
+	run := func(reorder string) (wm *expresso.Trace, elapsed time.Duration) {
+		t.Setenv("EXPRESSO_REORDER", reorder)
+		net, err := expresso.Load(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracer := expresso.NewTracer()
+		opts := expresso.Options{
+			Properties: []expresso.Kind{expresso.RouteLeakFree},
+			Trace:      tracer,
+		}
+		start := time.Now()
+		if _, err := net.Verify(opts); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = time.Since(start)
+		tr := tracer.Finish()
+		if tr.Watermark == nil {
+			t.Fatal("traced run produced no watermark footer")
+		}
+		return tr, elapsed
+	}
+
+	trStatic, elStatic := run("off")
+	before := bdd.GlobalReorderStats()
+	trSift, elSift := run("100000")
+	after := bdd.GlobalReorderStats()
+
+	// Round events only cover EPVP-barrier sifts; the process-wide totals
+	// also include the pre-SPF pass, so the bench records those.
+	sifts := after.Runs - before.Runs
+	siftFreed := after.Freed - before.Freed
+	siftNS := int64(after.Pause - before.Pause)
+	wmStatic, wmSift := trStatic.Watermark, trSift.Watermark
+	if wmSift.PeakLiveNodes <= 0 || wmSift.PeakLiveNodes < wmSift.EndLiveNodes {
+		t.Fatalf("implausible sift watermark: %+v", wmSift)
+	}
+
+	record := map[string]any{
+		"benchmark":  "Region1ReorderBench",
+		"fixture":    "region1 (CSP old topology)",
+		"properties": []string{"leak"},
+		"pr9_baseline": map[string]any{
+			"peak_live_nodes": pr9PeakLiveNodes,
+			"peak_live_bytes": pr9PeakLiveBytes,
+		},
+		"static_order": map[string]any{
+			"peak_live_nodes":      wmStatic.PeakLiveNodes,
+			"peak_live_bytes":      wmStatic.PeakLiveBytes,
+			"end_live_nodes":       wmStatic.EndLiveNodes,
+			"duration_ns":          elStatic.Nanoseconds(),
+			"peak_nodes_delta_pr9": wmStatic.PeakLiveNodes - pr9PeakLiveNodes,
+			"peak_mb_delta_pr9":    float64(wmStatic.PeakLiveBytes-pr9PeakLiveBytes) / 1e6,
+		},
+		"with_sifting": map[string]any{
+			"reorder_budget":       100000,
+			"sifts":                sifts,
+			"sift_nodes_freed":     siftFreed,
+			"sift_pause_ns":        siftNS,
+			"peak_live_nodes":      wmSift.PeakLiveNodes,
+			"peak_live_bytes":      wmSift.PeakLiveBytes,
+			"end_live_nodes":       wmSift.EndLiveNodes,
+			"duration_ns":          elSift.Nanoseconds(),
+			"peak_nodes_delta_pr9": wmSift.PeakLiveNodes - pr9PeakLiveNodes,
+			"peak_mb_delta_pr9":    float64(wmSift.PeakLiveBytes-pr9PeakLiveBytes) / 1e6,
+		},
+		"environment": map[string]any{
+			"go":    runtime.Version(),
+			"cores": runtime.NumCPU(),
+		},
+	}
+	out, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr10.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("static order: peak %d nodes (pr9 %d); sifting: peak %d nodes, %d sifts freed %d",
+		wmStatic.PeakLiveNodes, int64(pr9PeakLiveNodes), wmSift.PeakLiveNodes, sifts, siftFreed)
+	if wmSift.PeakLiveNodes >= pr9PeakLiveNodes {
+		t.Errorf("peak watermark %d did not drop below the PR-9 baseline %d", wmSift.PeakLiveNodes, pr9PeakLiveNodes)
+	}
+}

@@ -67,6 +67,7 @@ package bdd
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,11 +86,14 @@ const (
 	True  Node = 1
 )
 
-// node is the internal representation: a decision on variable level with
-// low (variable=0) and high (variable=1) branches. The high edge is never
-// complemented (canonical form); the low edge may be.
+// node is the internal representation: a decision at a given level of the
+// variable order with low (variable=0) and high (variable=1) branches. The
+// high edge is never complemented (canonical form); the low edge may be.
+// The level is a position in the order, not a variable index — the
+// manager's var2level/level2var permutation maps between the two, and
+// Reorder permutes it (rewriting affected slots in place).
 type node struct {
-	level     int32 // variable index; the constant uses level = maxLevel
+	level     int32 // position in the variable order; the constant uses maxLevel
 	low, high Node
 }
 
@@ -166,9 +170,36 @@ type Manager struct {
 
 	numVars int
 
-	// fps memoizes structural fingerprints (see Fingerprint), keyed by
-	// regular (uncomplemented) handles. Reclaim drops dead entries.
+	// Variable order: var2level[i] is the level (depth in the decision
+	// order) variable i currently occupies, level2var its inverse. The
+	// public API speaks variable indices everywhere; levels are internal
+	// currency for mk, the apply kernels, and the slab. Identity at
+	// construction unless NewOrdered/SetOrder installed a permutation;
+	// Reorder (sifting) permutes it at quiescent points. Reads during
+	// operation are safe because mutation requires full quiescence, like
+	// Reclaim.
+	var2level []int32
+	level2var []int32
+
+	// Cumulative reordering counters plus a snapshot of the last sift run
+	// (telemetry; lastReorder guarded by reorderMu).
+	roRuns      atomic.Int64
+	roSwaps     atomic.Int64
+	roFreed     atomic.Int64
+	roPause     atomic.Int64 // nanoseconds across all runs
+	reorderMu   sync.Mutex
+	lastReorder ReorderResult
+
+	// fps memoizes function fingerprints (see Fingerprint), keyed by
+	// regular (uncomplemented) handles. Fingerprints depend only on the
+	// boolean function — not on the variable order — so entries survive
+	// Reorder; Reclaim drops dead entries.
 	fps sync.Map // Node -> [2]uint64
+
+	// fpPts caches the per-variable field points the fingerprint evaluates
+	// at: fpPts[v] = {point for the hi lane, point for the lo lane}. Grown
+	// by AddVars (which requires quiescence); read-only otherwise.
+	fpPts [][2]uint64
 
 	// def is the default worker backing the Manager's own connective
 	// methods, preserving the old single-threaded API.
@@ -367,7 +398,7 @@ func (t *hashTable) compact(keep func(Node) bool) {
 }
 
 // New creates a Manager with numVars boolean variables, indexed 0..numVars-1.
-// Variable 0 is the topmost in the ordering.
+// The initial order is the identity: variable 0 is the topmost.
 func New(numVars int) *Manager {
 	if numVars < 0 {
 		panic("bdd: negative variable count")
@@ -377,6 +408,13 @@ func New(numVars int) *Manager {
 		numVars: numVars,
 		pinned:  make(map[Node]int64),
 	}
+	m.var2level = make([]int32, numVars)
+	m.level2var = make([]int32, numVars)
+	for i := range m.var2level {
+		m.var2level[i] = int32(i)
+		m.level2var[i] = int32(i)
+	}
+	m.growFpPoints()
 	for i := range m.unique {
 		m.unique[i].t = newHashTable(16)
 	}
@@ -384,6 +422,75 @@ func New(numVars int) *Manager {
 	// Slot 0 is the single stored constant: False regular, True complemented.
 	m.newNode(maxLevel, False, False)
 	return m
+}
+
+// NewOrdered creates a Manager whose initial variable order is the given
+// permutation: level2var[l] is the variable index decided at level l
+// (level 0 topmost). It panics when level2var is not a permutation of
+// [0,numVars) — a static-order heuristic handing over a broken permutation
+// is a programming error, not an input condition.
+func NewOrdered(numVars int, level2var []int) *Manager {
+	m := New(numVars)
+	if err := m.SetOrder(level2var); err != nil {
+		panic("bdd: " + err.Error())
+	}
+	return m
+}
+
+// SetOrder installs a variable order on a pristine manager (no nodes
+// beyond the constant, nothing pinned). It returns an error when the
+// manager already holds nodes — existing levels would silently mean
+// different variables — or when level2var is not a permutation of
+// [0,NumVars). Use Reorder to change the order of a populated manager.
+func (m *Manager) SetOrder(level2var []int) error {
+	if m.live.Load() > 1 || m.PinnedCount() > 0 {
+		return fmt.Errorf("SetOrder on a non-pristine manager (%d live nodes); use Reorder", m.live.Load())
+	}
+	l2v, v2l, err := permutation(level2var, m.numVars)
+	if err != nil {
+		return err
+	}
+	m.level2var, m.var2level = l2v, v2l
+	return nil
+}
+
+// permutation validates that order is a permutation of [0,numVars) and
+// returns it with its inverse as int32 slices.
+func permutation(order []int, numVars int) (l2v, v2l []int32, err error) {
+	if len(order) != numVars {
+		return nil, nil, fmt.Errorf("order has %d entries, want %d", len(order), numVars)
+	}
+	l2v = make([]int32, numVars)
+	v2l = make([]int32, numVars)
+	for i := range v2l {
+		v2l[i] = -1
+	}
+	for l, v := range order {
+		if v < 0 || v >= numVars || v2l[v] >= 0 {
+			return nil, nil, fmt.Errorf("order is not a permutation of [0,%d)", numVars)
+		}
+		l2v[l] = int32(v)
+		v2l[v] = int32(l)
+	}
+	return l2v, v2l, nil
+}
+
+// Order returns the current variable order: element l is the variable
+// index decided at level l. The copy is safe to retain.
+func (m *Manager) Order() []int {
+	out := make([]int, len(m.level2var))
+	for l, v := range m.level2var {
+		out[l] = int(v)
+	}
+	return out
+}
+
+// VarLevel returns the level variable i currently occupies.
+func (m *Manager) VarLevel(i int) int {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+	return int(m.var2level[i])
 }
 
 // DefaultWorker returns the Manager's built-in worker (the one backing the
@@ -407,12 +514,17 @@ func (m *Manager) NumVars() int { return m.numVars }
 func (m *Manager) NumNodes() int { return int(m.live.Load()) }
 
 // AddVars grows the variable universe by n, returning the index of the first
-// new variable. Existing nodes are unaffected (new variables sort below all
-// current ones only in index, not in any node already built). AddVars must
-// not be called concurrently with any other operation.
+// new variable. New variables take the bottommost levels of the order, in
+// index sequence, so existing nodes are unaffected. AddVars must not be
+// called concurrently with any other operation.
 func (m *Manager) AddVars(n int) int {
 	first := m.numVars
 	m.numVars += n
+	for i := first; i < m.numVars; i++ {
+		m.var2level = append(m.var2level, int32(i))
+		m.level2var = append(m.level2var, int32(i))
+	}
+	m.growFpPoints()
 	return first
 }
 
@@ -504,7 +616,7 @@ func (m *Manager) Var(i int) Node {
 	if i < 0 || i >= m.numVars {
 		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
 	}
-	return m.mk(int32(i), False, True)
+	return m.mk(m.var2level[i], False, True)
 }
 
 // NVar returns the BDD for the negation of variable i.
@@ -512,7 +624,7 @@ func (m *Manager) NVar(i int) Node {
 	if i < 0 || i >= m.numVars {
 		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
 	}
-	return m.mk(int32(i), True, False)
+	return m.mk(m.var2level[i], True, False)
 }
 
 // Worker is a per-goroutine view of a Manager holding private memos for
@@ -524,7 +636,7 @@ type Worker struct {
 	m   *Manager
 	ite opCache // (f, g, h) -> ITE(f,g,h); all three operands non-constant
 	bin opCache // (a, b, op) -> binary kernel result
-	gen uint64    // manager reclaim generation the caches are valid for
+	gen uint64  // manager reclaim generation the caches are valid for
 	// Cumulative memo counters (telemetry). A Worker is single-goroutine
 	// by contract, so plain fields suffice; they survive ClearCache.
 	iteHits, iteMisses int64
@@ -811,18 +923,21 @@ func (w *Worker) Exists(n Node, vars ...int) Node {
 	}
 	w.sync()
 	m := w.m
+	// Quantified variables translate to levels once; the recursion then
+	// runs purely in level space and prunes below the deepest of them.
 	set := make(map[int32]bool, len(vars))
-	maxVar := int32(-1)
+	maxLvl := int32(-1)
 	for _, v := range vars {
-		set[int32(v)] = true
-		if int32(v) > maxVar {
-			maxVar = int32(v)
+		l := m.var2level[v]
+		set[l] = true
+		if l > maxLvl {
+			maxLvl = l
 		}
 	}
 	memo := make(map[Node]Node)
 	var rec func(Node) Node
 	rec = func(x Node) Node {
-		if m.level(x) > maxVar {
+		if m.level(x) > maxLvl {
 			return x
 		}
 		if r, ok := memo[x]; ok {
@@ -861,12 +976,11 @@ func (w *Worker) Rename(n Node, mapping map[int]int) Node {
 		if r, ok := memo[x]; ok {
 			return r
 		}
-		lvl := int(m.level(x))
-		if nv, ok := mapping[lvl]; ok {
-			lvl = nv
+		v := int(m.level2var[m.level(x)])
+		if nv, ok := mapping[v]; ok {
+			v = nv
 		}
-		v := m.Var(lvl)
-		r := w.ite3(v, rec(m.high(x)), rec(m.low(x)))
+		r := w.ite3(m.Var(v), rec(m.high(x)), rec(m.low(x)))
 		memo[x] = r
 		return r
 	}
@@ -954,7 +1068,7 @@ func (m *Manager) UintGE(vars []int, bound uint64) Node { return m.def.UintGE(va
 func (m *Manager) Restrict(n Node, i int, value bool) Node {
 	memo := make(map[Node]Node)
 	var rec func(Node) Node
-	lvl := int32(i)
+	lvl := m.var2level[i]
 	rec = func(x Node) Node {
 		if m.level(x) > lvl {
 			return x // constants or nodes below the variable
@@ -985,23 +1099,28 @@ func (m *Manager) RestrictMany(n Node, values map[int]bool) Node {
 	if len(values) == 0 {
 		return n
 	}
-	maxVar := int32(-1)
-	for v := range values {
-		if int32(v) > maxVar {
-			maxVar = int32(v)
+	// Translate the fixed variables to levels once; the pass itself runs
+	// in level space and prunes below the deepest fixed level.
+	byLevel := make(map[int32]bool, len(values))
+	maxLvl := int32(-1)
+	for v, val := range values {
+		l := m.var2level[v]
+		byLevel[l] = val
+		if l > maxLvl {
+			maxLvl = l
 		}
 	}
 	memo := make(map[Node]Node)
 	var rec func(Node) Node
 	rec = func(x Node) Node {
-		if m.level(x) > maxVar {
+		if m.level(x) > maxLvl {
 			return x
 		}
 		if r, ok := memo[x]; ok {
 			return r
 		}
 		var r Node
-		if val, fixed := values[int(m.level(x))]; fixed {
+		if val, fixed := byLevel[m.level(x)]; fixed {
 			if val {
 				r = rec(m.high(x))
 			} else {
@@ -1017,11 +1136,15 @@ func (m *Manager) RestrictMany(n Node, values map[int]bool) Node {
 }
 
 // RenameMonotone replaces variables per mapping, which must be strictly
-// order-preserving on the support of n (old_i < old_j implies
-// mapping[old_i] < mapping[old_j], and mapped variables must not interleave
-// with unmapped support variables out of order). Under that contract the
-// rename is a single linear rebuild; it panics if the contract is violated
-// in a way that breaks canonicity locally. Safe for concurrent use.
+// level-order-preserving on the support of n: the mapped and unmapped
+// support variables must keep their relative positions in the manager's
+// CURRENT variable order (with the identity order that is the familiar
+// old_i < old_j implies mapping[old_i] < mapping[old_j]). Under that
+// contract the rename is a single linear rebuild; it panics if the
+// contract is violated in a way that breaks canonicity locally. Callers
+// that cannot guarantee the contract after dynamic reordering should use
+// RenameAny, which detects the violation and falls back to a general
+// rebuild. Safe for concurrent use.
 func (m *Manager) RenameMonotone(n Node, mapping map[int]int) Node {
 	if len(mapping) == 0 {
 		return n
@@ -1035,19 +1158,81 @@ func (m *Manager) RenameMonotone(n Node, mapping map[int]int) Node {
 		if r, ok := memo[x]; ok {
 			return r
 		}
-		lvl := int(m.level(x))
-		if nv, ok := mapping[lvl]; ok {
-			lvl = nv
+		v := int(m.level2var[m.level(x)])
+		if nv, ok := mapping[v]; ok {
+			v = nv
 		}
+		lvl := m.var2level[v]
 		lo, hi := rec(m.low(x)), rec(m.high(x))
-		if loN, hiN := m.level(lo), m.level(hi); int32(lvl) >= loN || int32(lvl) >= hiN {
+		if loN, hiN := m.level(lo), m.level(hi); lvl >= loN || lvl >= hiN {
 			panic("bdd: RenameMonotone mapping is not order-preserving")
 		}
-		r := m.mk(int32(lvl), lo, hi)
+		r := m.mk(lvl, lo, hi)
 		memo[x] = r
 		return r
 	}
 	return rec(n)
+}
+
+// RenameAny replaces variables per mapping (which must be injective on the
+// support of n and must not collide with unmapped support variables). It
+// runs the linear RenameMonotone pass when the mapping preserves the
+// current level order of n's support and falls back to a general ITE-based
+// rebuild otherwise — after dynamic reordering an index-monotone mapping
+// need not be level-monotone. Safe for concurrent use: the fallback builds
+// through a private Worker.
+func (m *Manager) RenameAny(n Node, mapping map[int]int) Node {
+	if len(mapping) == 0 || n == True || n == False {
+		return n
+	}
+	if m.renameLevelMonotone(n, mapping) {
+		return m.RenameMonotone(n, mapping)
+	}
+	w := m.NewWorker()
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(x Node) Node {
+		if x == True || x == False {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		v := int(m.level2var[m.level(x)])
+		if nv, ok := mapping[v]; ok {
+			v = nv
+		}
+		r := w.ite3(m.Var(v), rec(m.high(x)), rec(m.low(x)))
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+// renameLevelMonotone reports whether mapping keeps the relative level
+// order of n's support variables, the precondition for RenameMonotone's
+// linear pass.
+func (m *Manager) renameLevelMonotone(n Node, mapping map[int]int) bool {
+	sup := m.Support(n)
+	type pair struct{ from, to int32 }
+	ps := make([]pair, len(sup))
+	for i, v := range sup {
+		t := v
+		if nv, ok := mapping[v]; ok {
+			t = nv
+		}
+		if t < 0 || t >= m.numVars {
+			return false // let the fallback's Var panic with a precise message
+		}
+		ps[i] = pair{m.var2level[v], m.var2level[t]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].from < ps[b].from })
+	for i := 1; i < len(ps); i++ {
+		if ps[i].to <= ps[i-1].to {
+			return false
+		}
+	}
+	return true
 }
 
 // Support returns the sorted list of variables n depends on. Read-only and
@@ -1062,7 +1247,7 @@ func (m *Manager) Support(n Node) []int {
 			return
 		}
 		seen[x] = true
-		vars[int(m.level(x))] = true
+		vars[int(m.level2var[m.level(x)])] = true
 		rec(m.low(x))
 		rec(m.high(x))
 	}
@@ -1084,8 +1269,10 @@ func (m *Manager) SatCount(n Node) float64 {
 }
 
 // SatCountVars returns the number of satisfying assignments over the first
-// numVars variables (which must include the support of n). Read-only and
-// safe for concurrent use.
+// numVars variables (which must include the support of n). The count is
+// computed over the full variable universe in level space and rescaled by
+// the unused tail, so it is independent of the manager's variable order.
+// Read-only and safe for concurrent use.
 func (m *Manager) SatCountVars(n Node, numVars int) float64 {
 	if n == False {
 		return 0
@@ -1093,14 +1280,15 @@ func (m *Manager) SatCountVars(n Node, numVars int) float64 {
 	if n == True {
 		return math.Pow(2, float64(numVars))
 	}
+	total := m.numVars
 	lvlOf := func(x Node) float64 {
 		if x == True || x == False {
-			return float64(numVars)
+			return float64(total)
 		}
 		return float64(m.level(x))
 	}
 	memo := make(map[Node]float64)
-	// rec(x) counts assignments over variables [level(x), numVars).
+	// rec(x) counts assignments over levels [level(x), total).
 	var rec func(Node) float64
 	rec = func(x Node) float64 {
 		if x == False {
@@ -1119,28 +1307,57 @@ func (m *Manager) SatCountVars(n Node, numVars int) float64 {
 		memo[x] = c
 		return c
 	}
-	return rec(n) * math.Pow(2, lvlOf(n))
+	full := rec(n) * math.Pow(2, lvlOf(n))
+	// full counts over all m.numVars variables; the requested universe is
+	// numVars of them. Power-of-two scaling keeps exact small counts exact.
+	return full * math.Pow(2, float64(numVars-int(total)))
 }
 
 // AnySat returns one satisfying assignment of n as a map from variable index
-// to value, covering only the variables on the chosen path. It returns nil
-// if n is unsatisfiable. The chosen path depends only on the canonical node
-// structure, so the witness is deterministic across runs and worker counts.
+// to value, covering only the variables it had to decide. It returns nil
+// if n is unsatisfiable. The chosen witness depends only on the function —
+// at each step the smallest support variable (by index, not level) is fixed,
+// preferring false — so it is deterministic across runs, worker counts, and
+// variable orders. Under the identity order this coincides with the
+// classic leftmost-path descent.
 func (m *Manager) AnySat(n Node) map[int]bool {
 	if n == False {
 		return nil
 	}
 	assign := make(map[int]bool)
 	for n != True {
-		if m.low(n) != False {
-			assign[int(m.level(n))] = false
-			n = m.low(n)
+		v := m.minSupportVar(n)
+		if f0 := m.Restrict(n, v, false); f0 != False {
+			assign[v] = false
+			n = f0
 		} else {
-			assign[int(m.level(n))] = true
-			n = m.high(n)
+			assign[v] = true
+			n = m.Restrict(n, v, true)
 		}
 	}
 	return assign
+}
+
+// minSupportVar returns the smallest variable index in n's support. n must
+// not be a constant.
+func (m *Manager) minSupportVar(n Node) int {
+	best := int32(math.MaxInt32)
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(x Node) {
+		x &^= 1
+		if x == False || seen[x] {
+			return
+		}
+		seen[x] = true
+		if v := m.level2var[m.level(x)]; v < best {
+			best = v
+		}
+		rec(m.low(x))
+		rec(m.high(x))
+	}
+	rec(n)
+	return int(best)
 }
 
 // AllSat invokes fn for every satisfying path of n. Each path is a map from
@@ -1157,7 +1374,7 @@ func (m *Manager) AllSat(n Node, fn func(map[int]bool) bool) {
 		if x == True {
 			return fn(assign)
 		}
-		v := int(m.level(x))
+		v := int(m.level2var[m.level(x)])
 		assign[v] = false
 		if !rec(m.low(x)) {
 			delete(assign, v)
@@ -1178,7 +1395,7 @@ func (m *Manager) AllSat(n Node, fn func(map[int]bool) bool) {
 // false).
 func (m *Manager) Eval(n Node, assign map[int]bool) bool {
 	for n != True && n != False {
-		if assign[int(m.level(n))] {
+		if assign[int(m.level2var[m.level(n)])] {
 			n = m.high(n)
 		} else {
 			n = m.low(n)
@@ -1194,18 +1411,20 @@ func (m *Manager) Cube(vars []int, values []bool) Node {
 		panic("bdd: Cube length mismatch")
 	}
 	r := True
-	// Build bottom-up for efficiency: sort descending by variable.
+	// Build bottom-up for efficiency: sort descending by level.
 	idx := make([]int, len(vars))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return vars[idx[a]] > vars[idx[b]] })
+	sort.Slice(idx, func(a, b int) bool {
+		return m.var2level[vars[idx[a]]] > m.var2level[vars[idx[b]]]
+	})
 	for _, i := range idx {
-		v := vars[i]
+		lvl := m.var2level[vars[i]]
 		if values[i] {
-			r = m.mk(int32(v), False, r)
+			r = m.mk(lvl, False, r)
 		} else {
-			r = m.mk(int32(v), r, False)
+			r = m.mk(lvl, r, False)
 		}
 	}
 	return r
@@ -1432,33 +1651,81 @@ func GlobalReclaimStats() ReclaimStats {
 	}
 }
 
-// Fingerprint salts folded in for a complemented handle: ¬f's fingerprint
-// is a fixed mix of f's, so it is stable across runs without storing a
-// second memo entry.
-const (
-	fpNotHi = 0xd6e8feb86659fd93
-	fpNotLo = 0x9e6c63d0876a9a47
-)
+// fpPrime is the Mersenne prime 2^61−1, the field the fingerprint's
+// multilinear evaluation runs in. Two independent evaluation points per
+// variable give an effective ~122-bit fingerprint.
+const fpPrime = 1<<61 - 1
 
-// Fingerprint returns a 128-bit structural fingerprint of n, derived from
-// the BDD's canonical shape (variable levels, branch structure, complement
-// bits) rather than from handle numbers. Two nodes have equal fingerprints
-// iff they represent the same function (up to hash collision, which at 128
-// bits is negligible), in this run or any other — unlike handle numbers,
-// which depend on node-creation order and therefore on goroutine
-// scheduling and reclamation history. Use it wherever an ordering must be
-// identical across runs and worker counts. Memoized per regular handle;
-// safe for concurrent use.
+// fpFold reduces a value < 2^64 toward the canonical residue mod fpPrime
+// (one fold leaves the value < 2^61 + 7; callers compare via canonical
+// forms produced by fpAdd/fpSub/fpMul, which finish the reduction).
+func fpFold(x uint64) uint64 {
+	x = (x >> 61) + (x & fpPrime)
+	if x >= fpPrime {
+		x -= fpPrime
+	}
+	return x
+}
+
+// fpMul multiplies two residues mod fpPrime using a 128-bit product and
+// the identity 2^64 ≡ 8 (mod 2^61−1).
+func fpMul(a, b uint64) uint64 {
+	h, l := bits.Mul64(a, b)
+	// a·b = h·2^64 + l ≡ 8h + (l mod 2^61·…)  — fold in two steps.
+	s := (h << 3) | (l >> 61)
+	return fpFold(fpFold(s) + (l & fpPrime))
+}
+
+func fpAdd(a, b uint64) uint64 { return fpFold(a + b) }
+
+func fpSub(a, b uint64) uint64 { return fpFold(a + fpPrime - b) }
+
+// fpMix is the splitmix64 finalizer, used to derive per-variable
+// evaluation points deterministically from the variable index.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// growFpPoints extends the per-variable fingerprint evaluation points to
+// cover all current variables. Points are a pure function of the variable
+// INDEX (not its level), which is what makes Fingerprint independent of
+// the variable order. Called at construction and from AddVars.
+func (m *Manager) growFpPoints() {
+	for v := len(m.fpPts); v < m.numVars; v++ {
+		m.fpPts = append(m.fpPts, [2]uint64{
+			fpFold(fpMix(uint64(v)*2 + 0x9e3779b97f4a7c15)),
+			fpFold(fpMix(uint64(v)*2 + 0xc2b2ae3d27d4eb4f)),
+		})
+	}
+}
+
+// Fingerprint returns a ~122-bit semantic fingerprint of n: the
+// multilinear extension of the Boolean function evaluated at a fixed
+// random-looking point of GF(2^61−1)^numVars, on two independent
+// coordinate sets (hi, lo). fp(False)=0, fp(True)=1, fp(¬f)=1−fp(f), and
+// fp(node v,lo,hi) = (1−r_v)·fp(lo) + r_v·fp(hi) where r_v depends only on
+// the variable index v. Two handles have equal fingerprints iff they
+// represent the same function (up to negligible collision probability), in
+// this run or any other — independent of handle numbers, goroutine
+// scheduling, reclamation history, AND the manager's variable order, so
+// fingerprint-derived report orderings survive dynamic reordering
+// unchanged. Memoized per regular handle; the memo survives Reorder
+// (the function a handle denotes is preserved). Safe for concurrent use.
 func (m *Manager) Fingerprint(n Node) (hi, lo uint64) {
 	switch n {
 	case False:
-		return 0x8c61d8af5a6d2e11, 0x3b7f0f2d9c4e8b67
+		return 0, 0
 	case True:
-		return 0x1f83d9abfb41bd6b, 0x9b05688c2b3e6c1f
+		return 1, 1
 	}
 	if n&1 != 0 {
 		rhi, rlo := m.Fingerprint(n ^ 1)
-		return fpMix(rhi ^ fpNotHi), fpMix(rlo ^ fpNotLo)
+		return fpSub(1, rhi), fpSub(1, rlo)
 	}
 	if v, ok := m.fps.Load(n); ok {
 		fp := v.([2]uint64)
@@ -1467,18 +1734,9 @@ func (m *Manager) Fingerprint(n Node) (hi, lo uint64) {
 	nd := m.nodeAt(n)
 	lhi, llo := m.Fingerprint(nd.low)
 	hhi, hlo := m.Fingerprint(nd.high)
-	hi = fpMix(uint64(nd.level)*0x9e3779b97f4a7c15 ^ lhi ^ fpMix(hhi))
-	lo = fpMix(uint64(nd.level)*0xc2b2ae3d27d4eb4f ^ llo ^ fpMix(hlo+0x165667b19e3779f9))
+	pt := m.fpPts[m.level2var[nd.level]]
+	hi = fpAdd(fpMul(fpSub(1, pt[0]), lhi), fpMul(pt[0], hhi))
+	lo = fpAdd(fpMul(fpSub(1, pt[1]), llo), fpMul(pt[1], hlo))
 	m.fps.Store(n, [2]uint64{hi, lo})
 	return hi, lo
-}
-
-// fpMix is the splitmix64 finalizer, used to diffuse fingerprint inputs.
-func fpMix(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
 }

@@ -27,6 +27,27 @@ func FuzzImport(f *testing.F) {
 	f.Add([]byte("XBDD"))
 	f.Add([]byte{})
 
+	// Ordering-section coverage: a blob exported under a sifted order, the
+	// same blob with every ordering byte mutated (the section starts right
+	// after magic+version+numVars, one uvarint per variable), and a
+	// hand-built v2 header whose order section repeats a variable.
+	mo := New(8)
+	ro := randomGraph(mo, 7, 30)
+	mo.Pin(ro...)
+	mo.Reorder(ro...)
+	ordered := mo.Export(ro...)
+	f.Add(ordered)
+	for i := 6; i < 6+8 && i < len(ordered); i++ {
+		mut := append([]byte(nil), ordered...)
+		mut[i] ^= 0xFF
+		f.Add(mut)
+		mut2 := append([]byte(nil), ordered...)
+		mut2[i] = 0x07 // in-range variable: forces a repeated-entry rejection
+		f.Add(mut2)
+	}
+	f.Add([]byte{'X', 'B', 'D', 'D', 2, 8, 0, 0, 1, 2, 3, 4, 5, 6}) // repeated var 0
+	f.Add([]byte{'X', 'B', 'D', 'D', 2, 8, 0, 1})                   // truncated order section
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m := New(8)
 		roots, err := m.Import(data)

@@ -15,7 +15,10 @@ const NodeBytes = 12
 // histogram is the direct input to variable-reordering and compression
 // work — a level hoarding nodes is a reordering target.
 type LevelProfile struct {
-	Level int   `json:"level"`
+	Level int `json:"level"`
+	// Var is the variable index currently decided at this level — equal to
+	// Level until dynamic reordering has permuted the order.
+	Var   int   `json:"var"`
 	Nodes int64 `json:"nodes"`
 	Bytes int64 `json:"bytes"`
 }
@@ -61,6 +64,13 @@ type Profile struct {
 	// Levels is the per-level live-node histogram in variable order,
 	// omitting empty levels.
 	Levels []LevelProfile `json:"levels,omitempty"`
+	// Order is the current variable order (level2var), present only when
+	// it differs from the identity — i.e. after NewOrdered/SetOrder or a
+	// Reorder run.
+	Order []int `json:"order,omitempty"`
+	// Reorder summarizes dynamic-reordering activity, present once a
+	// Reorder has run.
+	Reorder *ReorderStats `json:"reorder,omitempty"`
 }
 
 // TopLevels returns the n largest levels by live-node count (all of them
@@ -152,7 +162,21 @@ func (m *Manager) Profile() Profile {
 		if c == 0 {
 			continue
 		}
-		p.Levels = append(p.Levels, LevelProfile{Level: lvl, Nodes: c, Bytes: c * NodeBytes})
+		p.Levels = append(p.Levels, LevelProfile{
+			Level: lvl,
+			Var:   int(m.level2var[lvl]),
+			Nodes: c,
+			Bytes: c * NodeBytes,
+		})
+	}
+	for l, v := range m.level2var {
+		if int(v) != l {
+			p.Order = m.Order()
+			break
+		}
+	}
+	if rs := m.ReorderStats(); rs.Runs > 0 {
+		p.Reorder = &rs
 	}
 	if p.LiveNodes > 0 {
 		p.ComplementShare = float64(p.ComplementEdges) / float64(p.LiveNodes)

@@ -6,14 +6,18 @@ import (
 	"math"
 )
 
-// Binary graph format (version 1). All integers are unsigned varints.
+// Binary graph format (version 2). All integers are unsigned varints.
 //
 //	magic   "XBDD" (4 bytes)
-//	version uvarint (currently 1)
+//	version uvarint (currently 2; version-1 blobs still import)
 //	numVars uvarint (variable count of the exporting manager)
+//	order   numVars uvarints (v2 only): the exporter's level2var
+//	        permutation — entry l is the variable index decided at blob
+//	        level l. Version-1 blobs carry no section and decode as the
+//	        identity order.
 //	count   uvarint (number of non-constant nodes in the table)
 //	count × node records, children before parents:
-//	    level uvarint
+//	    level uvarint  (a position in the BLOB's order, not a variable index)
 //	    low   uvarint  (ref<<1 | complement; ref 0 is the constant,
 //	                    ref i ≤ position refers to the i-th record)
 //	    high  uvarint  (same encoding; never complemented — canonical form)
@@ -24,10 +28,13 @@ import (
 // a decoder can rebuild the graph in one forward pass through the manager's
 // canonical constructor. Handles are positional: the blob carries no slab
 // indices, so it is independent of the exporting manager's allocation
-// history and imports cleanly into any manager with enough variables.
+// history and imports cleanly into any manager with enough variables —
+// even one whose variable order differs from the exporter's (the decoder
+// translates blob levels to variable indices through the order section and
+// re-canonicalizes under the importing order).
 const (
 	serializeMagic   = "XBDD"
-	serializeVersion = 1
+	serializeVersion = 2
 )
 
 // Export serializes the graphs reachable from roots into the versioned
@@ -69,10 +76,13 @@ func (m *Manager) Export(roots ...Node) []byte {
 		}
 	}
 
-	buf := make([]byte, 0, 16+7*len(order))
+	buf := make([]byte, 0, 16+2*m.numVars+7*len(order))
 	buf = append(buf, serializeMagic...)
 	buf = binary.AppendUvarint(buf, serializeVersion)
 	buf = binary.AppendUvarint(buf, uint64(m.numVars))
+	for _, v := range m.level2var {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(order)))
 	for _, n := range order {
 		nd := m.nodeAt(n)
@@ -97,10 +107,16 @@ func (m *Manager) Import(data []byte) ([]Node, error) {
 }
 
 // ImportShifted is Import with a monotone variable relocation: delta is
-// added to the level of every node whose stored level is ≥ from. The
+// added to the index of every variable whose index is ≥ from. The
 // pipeline uses it to rebase data-plane variables allocated with AddVars at
-// a different offset than in the exporting manager. Relocation must
-// preserve the variable order of the blob (checked per edge).
+// a different offset than in the exporting manager. (For version-1 blobs
+// and identity-ordered exporters, variable indices and blob levels
+// coincide, so this matches the historical level-space relocation.)
+// Relocation must preserve the relative order of the blob's variables in
+// blob-level space, which the per-edge structural check enforces; nodes
+// whose importing levels disagree with the blob's ordering — the importing
+// manager may have sifted its variables into any permutation — are rebuilt
+// through ITE instead of the linear constructor.
 func (m *Manager) ImportShifted(data []byte, from, delta int) ([]Node, error) {
 	d := decoder{data: data}
 	if len(data) < len(serializeMagic) || string(data[:len(serializeMagic)]) != serializeMagic {
@@ -111,7 +127,7 @@ func (m *Manager) ImportShifted(data []byte, from, delta int) ([]Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != serializeVersion {
+	if version != 1 && version != serializeVersion {
 		return nil, fmt.Errorf("bdd: import: unsupported format version %d", version)
 	}
 	storedVars, err := d.uvarint("numVars")
@@ -120,6 +136,30 @@ func (m *Manager) ImportShifted(data []byte, from, delta int) ([]Node, error) {
 	}
 	if storedVars > math.MaxInt32 {
 		return nil, fmt.Errorf("bdd: import: numVars %d out of range", storedVars)
+	}
+	// The order section maps blob levels to the exporter's variable
+	// indices. Version 1 predates reordering: identity. A malformed
+	// section (out-of-range entry, repeated variable) is a corrupt blob
+	// and errors like any other decode failure — store layers treat that
+	// as a cache miss, never a panic.
+	var blobOrder []int32
+	if version >= 2 {
+		if storedVars > uint64(len(data)) {
+			return nil, fmt.Errorf("bdd: import: numVars %d exceeds blob size", storedVars)
+		}
+		blobOrder = make([]int32, storedVars)
+		seen := make([]bool, storedVars)
+		for l := range blobOrder {
+			v, err := d.uvarint("order entry")
+			if err != nil {
+				return nil, err
+			}
+			if v >= storedVars || seen[v] {
+				return nil, fmt.Errorf("bdd: import: order section is not a permutation of [0,%d)", storedVars)
+			}
+			seen[v] = true
+			blobOrder[l] = int32(v)
+		}
 	}
 	count, err := d.uvarint("node count")
 	if err != nil {
@@ -132,8 +172,9 @@ func (m *Manager) ImportShifted(data []byte, from, delta int) ([]Node, error) {
 	}
 
 	handles := make([]Node, count+1) // table ref -> handle in m; ref 0 = False
-	levels := make([]int32, count+1) // post-shift level per ref (for ordering checks)
+	levels := make([]int32, count+1) // blob level per ref (for ordering checks)
 	levels[0] = maxLevel
+	var w *Worker // lazy: only created when a record needs the ITE path
 	for i := uint64(1); i <= count; i++ {
 		rawLevel, err := d.uvarint("level")
 		if err != nil {
@@ -142,12 +183,16 @@ func (m *Manager) ImportShifted(data []byte, from, delta int) ([]Node, error) {
 		if rawLevel >= storedVars {
 			return nil, fmt.Errorf("bdd: import: node %d level %d out of range [0,%d)", i, rawLevel, storedVars)
 		}
-		level := int64(rawLevel)
-		if from >= 0 && level >= int64(from) {
-			level += int64(delta)
+		// Blob level -> exporter variable -> relocated variable index.
+		v := int64(rawLevel)
+		if blobOrder != nil {
+			v = int64(blobOrder[rawLevel])
 		}
-		if level < 0 || level >= int64(m.numVars) {
-			return nil, fmt.Errorf("bdd: import: node %d level %d outside manager range [0,%d)", i, level, m.numVars)
+		if from >= 0 && v >= int64(from) {
+			v += int64(delta)
+		}
+		if v < 0 || v >= int64(m.numVars) {
+			return nil, fmt.Errorf("bdd: import: node %d variable %d outside manager range [0,%d)", i, v, m.numVars)
 		}
 		lowRef, lowC, err := d.ref("low", i, i)
 		if err != nil {
@@ -163,12 +208,26 @@ func (m *Manager) ImportShifted(data []byte, from, delta int) ([]Node, error) {
 		if lowRef == highRef && lowC == 0 {
 			return nil, fmt.Errorf("bdd: import: node %d has identical children (non-canonical)", i)
 		}
-		// Children must sit strictly deeper in the variable order.
-		if levels[lowRef] <= int32(level) || levels[highRef] <= int32(level) {
+		// Children must sit strictly deeper in the blob's variable order.
+		if levels[lowRef] <= int32(rawLevel) || levels[highRef] <= int32(rawLevel) {
 			return nil, fmt.Errorf("bdd: import: node %d violates variable ordering", i)
 		}
-		handles[i] = m.mk(int32(level), handles[lowRef]^Node(lowC), handles[highRef])
-		levels[i] = int32(level)
+		low, high := handles[lowRef]^Node(lowC), handles[highRef]
+		// Under the importing manager's order the children usually still
+		// sit strictly deeper, and the linear canonical constructor
+		// applies. When the importing order disagrees with the blob's
+		// (this manager sifted, the exporter didn't, or vice versa), fall
+		// back to ITE, which re-canonicalizes at any relative order.
+		lvl := m.var2level[v]
+		if m.level(low) > lvl && m.level(high) > lvl {
+			handles[i] = m.mk(lvl, low, high)
+		} else {
+			if w == nil {
+				w = m.NewWorker()
+			}
+			handles[i] = w.ite3(m.Var(int(v)), high, low)
+		}
+		levels[i] = int32(rawLevel)
 	}
 
 	nroots, err := d.uvarint("root count")

@@ -172,3 +172,113 @@ func TestImportRejectsTooFewVars(t *testing.T) {
 		t.Fatal("import with out-of-range levels accepted")
 	}
 }
+
+// v1Blob rewrites a version-2 blob exported under the IDENTITY order into
+// the historical version-1 layout: same bytes minus the order section,
+// version byte dropped to 1. Valid only for numVars <= 127 (single-byte
+// uvarints), which the tests respect.
+func v1Blob(t *testing.T, v2 []byte) []byte {
+	t.Helper()
+	if len(v2) < 6 || v2[4] != 2 {
+		t.Fatalf("not a small v2 blob: %v", v2[:6])
+	}
+	numVars := int(v2[5])
+	out := append([]byte(nil), v2[:4]...)
+	out = append(out, 1, v2[5])
+	out = append(out, v2[6+numVars:]...)
+	return out
+}
+
+// TestImportV1BlobAsIdentityOrder: a version-1 blob (no order section)
+// must import exactly as before — blob levels read as variable indices.
+func TestImportV1BlobAsIdentityOrder(t *testing.T) {
+	m := New(10)
+	roots := randomGraph(m, 11, 40)
+	v2 := m.Export(roots...)
+	v1 := v1Blob(t, v2)
+
+	m2 := New(10)
+	got, err := m2.Import(v1)
+	if err != nil {
+		t.Fatalf("v1 import: %v", err)
+	}
+	if len(got) != len(roots) {
+		t.Fatalf("root count: %d vs %d", len(got), len(roots))
+	}
+	for i := range roots {
+		h1, l1 := m.Fingerprint(roots[i])
+		h2, l2 := m2.Fingerprint(got[i])
+		if h1 != h2 || l1 != l2 {
+			t.Fatalf("root %d changed across v1 import", i)
+		}
+	}
+}
+
+// TestExportImportAcrossOrders: functions exported under a sifted order
+// must import — via the ITE fallback where the orders disagree — into
+// managers with the identity order and with an unrelated permutation,
+// preserving semantics (order-independent fingerprints prove it).
+func TestExportImportAcrossOrders(t *testing.T) {
+	const nv = 10
+	m := New(nv)
+	roots := randomGraph(m, 5, 50)
+	m.Pin(roots...)
+	m.Reorder(roots...)
+	blob := m.Export(roots...)
+
+	order := []int{9, 0, 8, 1, 7, 2, 6, 3, 5, 4}
+	for name, m2 := range map[string]*Manager{"identity": New(nv), "permuted": NewOrdered(nv, order)} {
+		got, err := m2.Import(blob)
+		if err != nil {
+			t.Fatalf("%s import: %v", name, err)
+		}
+		for i := range roots {
+			h1, l1 := m.Fingerprint(roots[i])
+			h2, l2 := m2.Fingerprint(got[i])
+			if h1 != h2 || l1 != l2 {
+				t.Fatalf("%s: root %d changed across cross-order import", name, i)
+			}
+		}
+	}
+}
+
+// TestImportShiftedIntoReorderedManager: the variable-space relocation
+// must compose with an importing manager whose order was sifted.
+func TestImportShiftedIntoReorderedManager(t *testing.T) {
+	m := New(6)
+	w := m.DefaultWorker()
+	f := w.And(m.Var(0), w.Or(m.Var(4), m.NVar(5)))
+	blob := m.Export(f)
+
+	m2 := NewOrdered(10, []int{9, 3, 5, 0, 7, 2, 8, 1, 6, 4})
+	got, err := m2.ImportShifted(blob, 4, 4)
+	if err != nil {
+		t.Fatalf("ImportShifted: %v", err)
+	}
+	want := m2.And(m2.Var(0), m2.Or(m2.Var(8), m2.NVar(9)))
+	if got[0] != want {
+		t.Fatalf("shifted cross-order import: got %d want %d", got[0], want)
+	}
+}
+
+// TestImportRejectsMalformedOrderSection: a v2 blob whose order section is
+// not a permutation must error (a silent store miss upstream), not panic.
+func TestImportRejectsMalformedOrderSection(t *testing.T) {
+	m := New(8)
+	blob := m.Export(m.And(m.Var(1), m.Var(6)))
+	cases := map[string]func([]byte){
+		"repeat":       func(b []byte) { b[6] = b[7] },
+		"out-of-range": func(b []byte) { b[6] = 200 },
+	}
+	for name, corrupt := range cases {
+		mut := append([]byte(nil), blob...)
+		corrupt(mut)
+		if _, err := New(8).Import(mut); err == nil {
+			t.Fatalf("%s: malformed order section accepted", name)
+		}
+	}
+	// Truncation inside the order section must also error.
+	if _, err := New(8).Import(blob[:8]); err == nil {
+		t.Fatal("truncated order section accepted")
+	}
+}

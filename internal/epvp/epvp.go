@@ -231,6 +231,20 @@ func (e *Engine) compilePoliciesReusing(ctx context.Context, prior *Engine, reus
 		SymbolicASPaths:     e.Mode.SymbolicASPaths,
 	}
 	e.permitAll = symbolic.CompilePolicy(e.ctx, nil)
+	// Compile-time reordering gate: policy compilation is single-threaded
+	// and device-ordered, so between-device boundaries are quiescent and
+	// the created counter at each is schedule-independent — the same
+	// determinism argument as the round-end gate. Compilation dominates a
+	// cold engine's node churn (≈90% on the region fixtures), so without
+	// this gate a forced budget could never move the peak watermark. Dead
+	// nodes here are compile intermediates; live transfers are collected
+	// via Roots, and anything owned by other engine instances sharing the
+	// manager is protected by its owner's pins (the Reclaim contract).
+	reorderBudget, reorderOn := telemetry.ReorderBudgetFromEnv()
+	var reorderFloor int64
+	if reorderOn {
+		_, reorderFloor = e.Space.M.UniqueStats()
+	}
 	for _, name := range e.Net.Internals {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -253,6 +267,12 @@ func (e *Engine) compilePoliciesReusing(ctx context.Context, prior *Engine, reus
 					}
 				}
 				e.transfers[k] = symbolic.CompilePolicy(e.ctx, d.Policies[polName])
+			}
+		}
+		if reorderOn {
+			if _, created := e.Space.M.UniqueStats(); created-reorderFloor >= int64(reorderBudget) {
+				e.Space.M.Reorder(e.Roots()...)
+				_, reorderFloor = e.Space.M.UniqueStats()
 			}
 		}
 	}
@@ -648,6 +668,15 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 	if reclaimOn {
 		_, createdFloor = e.Space.M.UniqueStats()
 	}
+	// Dynamic-reordering trigger: same shape as the reclamation gate —
+	// growth of the (schedule-independent) created counter since the last
+	// reorder — but with a much larger default budget, since a sift pass
+	// is a far heavier pause than a sweep.
+	reorderBudget, reorderOn := telemetry.ReorderBudgetFromEnv()
+	var reorderFloor int64
+	if reorderOn {
+		_, reorderFloor = e.Space.M.UniqueStats()
+	}
 	workers := e.WorkerCount()
 	var forks []*Engine
 	if workers > 1 {
@@ -759,7 +788,19 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 		// the manager's generation counter.
 		var rcFreed, rcPause int64
 		var rcRuns int64
-		if reclaimOn && !converged {
+		var roRes bdd.ReorderResult
+		var roRuns int64
+		// Reordering first: a sift pass reclaims on entry, so a round that
+		// reorders skips the separate sweep (both floors reset together).
+		if reorderOn && !converged {
+			if _, created := e.Space.M.UniqueStats(); created-reorderFloor >= int64(reorderBudget) {
+				roRes = e.Space.M.Reorder(e.runRoots(best, extInit, seed)...)
+				roRuns = 1
+				_, reorderFloor = e.Space.M.UniqueStats()
+				createdFloor = reorderFloor
+			}
+		}
+		if reclaimOn && !converged && roRuns == 0 {
 			if _, created := e.Space.M.UniqueStats(); created-createdFloor >= int64(reclaimBudget) {
 				rc0 := e.Space.M.ReclaimStats()
 				rcFreed = int64(e.Space.M.Reclaim(e.runRoots(best, extInit, seed)...))
@@ -786,6 +827,10 @@ func (e *Engine) run(ctx context.Context, seed *Result, dirty []string) (*Result
 				Reclaims:       rcRuns,
 				ReclaimedNodes: rcFreed,
 				ReclaimNS:      rcPause,
+				Reorders:       roRuns,
+				ReorderSwaps:   roRes.Swaps,
+				ReorderFreed:   roRes.Freed,
+				ReorderNS:      int64(roRes.Pause),
 				BDDPeak:        peak,
 				Duration:       time.Since(roundStart).Nanoseconds(),
 			})

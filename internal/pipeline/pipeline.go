@@ -273,7 +273,11 @@ func (r *Runner) Run(ctx context.Context, req *Request) (*Outcome, error) {
 		// never pause. The roots are this request's working set — pins
 		// cover the cached artifacts, but an artifact evicted mid-request
 		// must survive its own run too.
-		if budget, on := telemetry.ReclaimBudgetFromEnv(); on && src.Eng.Space.M.NumNodes() >= budget {
+		// Reordering subsumes the sweep (it reclaims on entry), so at most
+		// one of the two stop-the-world passes runs here.
+		if budget, on := telemetry.ReorderBudgetFromEnv(); on && src.Eng.Space.M.NumNodes() >= budget {
+			src.Eng.Space.M.Reorder(append(src.handles(), routing.handles()...)...)
+		} else if budget, on := telemetry.ReclaimBudgetFromEnv(); on && src.Eng.Space.M.NumNodes() >= budget {
 			src.Eng.Space.M.Reclaim(append(src.handles(), routing.handles()...)...)
 		}
 		dp, err := spf.RunTraced(ctx, src.Eng, src.Res, req.Trace)

@@ -37,12 +37,15 @@ func (s *Server) DebugHandler() http.Handler {
 
 // debugBDD is the GET /debug/bdd body: one profile per live BDD manager
 // (registered baselines and cached SRC artifacts) plus the process-wide
-// reclamation totals. Profiles are computed on demand — the walk is
-// O(slab) per manager and serializes briefly against verifications
-// sharing the manager, which is why this lives on the debug listener.
+// reclamation and reordering totals. Per-manager profiles carry the
+// current variable order and last-sift detail when reordering has run.
+// Profiles are computed on demand — the walk is O(slab) per manager and
+// serializes briefly against verifications sharing the manager, which is
+// why this lives on the debug listener.
 type debugBDD struct {
 	Managers []expresso.BDDProfile `json:"managers"`
 	Reclaim  bdd.ReclaimStats      `json:"reclaim"`
+	Reorder  bdd.ReorderStats      `json:"reorder"`
 	Time     time.Time             `json:"time"`
 }
 
@@ -50,6 +53,7 @@ func (s *Server) handleDebugBDD(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, debugBDD{
 		Managers: s.verifier.BDDProfiles(),
 		Reclaim:  bdd.GlobalReclaimStats(),
+		Reorder:  bdd.GlobalReorderStats(),
 		Time:     time.Now(),
 	})
 }

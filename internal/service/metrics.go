@@ -196,6 +196,13 @@ func (m *Metrics) WriteText(w io.Writer, snap Snapshot) {
 	fmt.Fprintf(w, "# HELP expresso_bdd_reclaim_pause_seconds_total Cumulative stop-the-world sweep pause.\n# TYPE expresso_bdd_reclaim_pause_seconds_total counter\nexpresso_bdd_reclaim_pause_seconds_total %.6f\n",
 		rc.Pause.Seconds())
 
+	ro := bdd.GlobalReorderStats()
+	counter("expresso_bdd_reorders_total", "Dynamic variable-reordering (sifting) passes across all BDD managers.", ro.Runs)
+	counter("expresso_bdd_reorder_nodes_freed_total", "Live nodes eliminated by reordering passes.", ro.Freed)
+	counter("expresso_bdd_reorder_swaps_total", "Adjacent-level swaps executed by reordering passes.", ro.Swaps)
+	fmt.Fprintf(w, "# HELP expresso_bdd_reorder_pause_seconds_total Cumulative stop-the-world reordering pause.\n# TYPE expresso_bdd_reorder_pause_seconds_total counter\nexpresso_bdd_reorder_pause_seconds_total %.6f\n",
+		ro.Pause.Seconds())
+
 	totals, jobs := m.StageTotals()
 	stage := func(name string, d time.Duration) {
 		full := "expresso_stage_" + name + "_seconds_total"

@@ -314,9 +314,11 @@ func (r *Result) convertU(sp *symbolic.Space, u bdd.Node) []convEntry {
 			continue
 		}
 		// Rename control-plane advertiser variables to per-length ones.
-		// The data-plane variables for one length preserve the neighbor
-		// ordering and sit below every control variable, so the rename is
-		// order-preserving (linear).
+		// Under the initial order the data-plane variables for one length
+		// preserve the neighbor ordering and sit below every control
+		// variable, so the rename is a linear pass; after dynamic
+		// reordering the relative levels may be anything, so RenameAny
+		// checks and falls back to a general rebuild when needed.
 		mapping := map[int]int{}
 		for _, cv := range s.M.Support(m) {
 			if cv >= symbolic.FirstNbrVar && cv < r.varBase {
@@ -329,7 +331,7 @@ func (r *Result) convertU(sp *symbolic.Space, u bdd.Node) []convEntry {
 			}
 		}
 		if len(mapping) > 0 {
-			m = s.M.RenameMonotone(m, mapping)
+			m = s.M.RenameAny(m, mapping)
 		}
 		out = append(out, convEntry{length: l, match: m})
 	}

@@ -49,10 +49,68 @@ type Space struct {
 	lenCubes [33]bdd.Node
 }
 
-// NewSpace allocates a control-plane space for n external neighbors.
+// nbrSplitBit is the address bit the advertiser block is interleaved
+// after: bits 0..23 discriminate which prefix (and so which neighbors)
+// a point belongs to, while bits 24..31 are host-suffix bits that the
+// canonical-prefix constraint mostly pins to zero. Tuned empirically on
+// the netgen regions (see EXPERIMENTS.md): 24 beats both the blocked
+// layout and denser interleavings at every region scale measured.
+const nbrSplitBit = 24
+
+// InitialOrder returns the static variable order NewSpace installs, as a
+// level2var permutation: prefix-length bits first, then address bits
+// 0..23, then the advertiser block, then the host-suffix address bits.
+//
+// The blocked layout (address, length, advertisers — variable index ==
+// level) puts every advertiser decision below all 38 prefix levels, so a
+// route set pairing prefix ranges with the neighbors advertising them
+// repeats its host-suffix structure once per advertiser condition.
+// Interleaving the advertiser block above those suffix bits lets every
+// route share the canonical zero-suffix chains, and keeping the block
+// contiguous keeps Cond/PrefixPart quantification cheap — spreading
+// advertisers bit-by-bit through the address range blows the product up
+// at region-4 scale and beyond. Length bits go first because the
+// canonical-prefix predicate ("bits at or below the length are zero")
+// collapses to one shared zero-suffix chain once the length is known.
+func InitialOrder(n int) []int {
+	order := make([]int, 0, FirstNbrVar+n)
+	for b := 0; b < LenBits; b++ {
+		order = append(order, AddrBits+b)
+	}
+	for b := 0; b < nbrSplitBit; b++ {
+		order = append(order, b)
+	}
+	for i := 0; i < n; i++ {
+		order = append(order, FirstNbrVar+i)
+	}
+	for b := nbrSplitBit; b < AddrBits; b++ {
+		order = append(order, b)
+	}
+	return order
+}
+
+// NewSpace allocates a control-plane space for n external neighbors,
+// with the interleaved InitialOrder installed as the variable order.
 func NewSpace(n int) *Space {
+	return newSpace(bdd.NewOrdered(FirstNbrVar+n, InitialOrder(n)), n)
+}
+
+// NewBlockedSpace allocates a space with the legacy blocked layout
+// (variable index == level). Kept for order-sensitivity measurements;
+// verification results are identical either way, only node counts move.
+func NewBlockedSpace(n int) *Space {
+	return newSpace(bdd.New(FirstNbrVar+n), n)
+}
+
+// NewOrderedSpace allocates a space with an explicit level2var
+// permutation over the FirstNbrVar+n variables, for order experiments.
+func NewOrderedSpace(n int, level2var []int) *Space {
+	return newSpace(bdd.NewOrdered(FirstNbrVar+n, level2var), n)
+}
+
+func newSpace(m *bdd.Manager, n int) *Space {
 	s := &Space{
-		M:            bdd.New(FirstNbrVar + n),
+		M:            m,
 		NumNeighbors: n,
 	}
 	s.W = s.M.DefaultWorker()

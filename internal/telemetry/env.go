@@ -70,3 +70,39 @@ func ReclaimBudgetFromEnv() (budget int, enabled bool) {
 	}
 	return n, true
 }
+
+// warnedReorder deduplicates the malformed-EXPRESSO_REORDER warning, for
+// the same reason as warnedWorkers.
+var warnedReorder sync.Once
+
+// DefaultReorderBudget is the dynamic-variable-reordering trigger when
+// EXPRESSO_REORDER is unset: sift once at least this many nodes have been
+// hash-consed since the last reorder (or the start of the run). Sifting is
+// a far heavier pause than a sweep, so the default budget is deliberately
+// high — region-scale verifications never trigger it; it exists for the
+// full-snapshot runs whose live population would otherwise exceed memory.
+// Tests and benchmarks force tiny budgets to exercise the machinery.
+const DefaultReorderBudget = 1 << 24
+
+// ReorderBudgetFromEnv parses the EXPRESSO_REORDER environment variable:
+// "off" disables dynamic reordering, a positive integer overrides the
+// node-growth budget that triggers a sift, and unset/malformed values fall
+// back to DefaultReorderBudget (with a once-per-process warning when
+// malformed). This is the only parser of the variable.
+func ReorderBudgetFromEnv() (budget int, enabled bool) {
+	env := os.Getenv("EXPRESSO_REORDER")
+	switch env {
+	case "":
+		return DefaultReorderBudget, true
+	case "off":
+		return 0, false
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		warnedReorder.Do(func() {
+			slog.Warn("ignoring malformed EXPRESSO_REORDER (want a positive integer or \"off\")", "value", env)
+		})
+		return DefaultReorderBudget, true
+	}
+	return n, true
+}

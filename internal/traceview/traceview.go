@@ -81,11 +81,16 @@ func Summarize(w io.Writer, tr *telemetry.Trace) {
 
 	if len(tr.EPVPRounds) > 0 {
 		var growth, reclaims, freed, pause, peak int64
+		var reorders, roSwaps, roFreed, roPause int64
 		for _, r := range tr.EPVPRounds {
 			growth += r.BDDGrowth
 			reclaims += r.Reclaims
 			freed += r.ReclaimedNodes
 			pause += r.ReclaimNS
+			reorders += r.Reorders
+			roSwaps += r.ReorderSwaps
+			roFreed += r.ReorderFreed
+			roPause += r.ReorderNS
 			if r.BDDPeak > peak {
 				peak = r.BDDPeak
 			}
@@ -98,6 +103,10 @@ func Summarize(w io.Writer, tr *telemetry.Trace) {
 				reclaims, freed, ns(pause), 100*float64(freed)/float64(growth))
 		} else {
 			fmt.Fprintf(w, "reclaim: no sweeps triggered\n")
+		}
+		if reorders > 0 {
+			fmt.Fprintf(w, "reorder: %d sifts (%d swaps) freed %d nodes in %s\n",
+				reorders, roSwaps, roFreed, ns(roPause))
 		}
 	}
 	if n := len(tr.SPFFIBs); n > 0 {
@@ -151,6 +160,11 @@ type DiffReport struct {
 	// PeakDelta is the watermark peak-live-node change (new - old) when
 	// both traces carry a watermark footer.
 	PeakDelta int64 `json:"peak_delta,omitempty"`
+	// Reorder deltas attribute regressions (or wins) to dynamic variable
+	// reordering: sift count, nodes freed, and pause time, new - old.
+	ReorderDelta      int64 `json:"reorder_delta,omitempty"`
+	ReorderFreedDelta int64 `json:"reorder_freed_delta,omitempty"`
+	ReorderNSDelta    int64 `json:"reorder_ns_delta,omitempty"`
 }
 
 // regressFloorNS is the absolute slowdown below which a stage is never
@@ -222,6 +236,9 @@ func Diff(oldTr, newTr *telemetry.Trace, threshold float64) *DiffReport {
 		if i < len(newTr.EPVPRounds) {
 			n = newTr.EPVPRounds[i]
 		}
+		rep.ReorderDelta += n.Reorders - o.Reorders
+		rep.ReorderFreedDelta += n.ReorderFreed - o.ReorderFreed
+		rep.ReorderNSDelta += n.ReorderNS - o.ReorderNS
 		rep.Rounds = append(rep.Rounds, RoundDelta{
 			Round:       i + 1,
 			GrowthOld:   o.BDDGrowth,
@@ -268,6 +285,10 @@ func WriteDiff(w io.Writer, rep *DiffReport) {
 	}
 	if rep.PeakDelta != 0 {
 		fmt.Fprintf(w, "watermark: peak live nodes %+d\n", rep.PeakDelta)
+	}
+	if rep.ReorderDelta != 0 || rep.ReorderFreedDelta != 0 || rep.ReorderNSDelta != 0 {
+		fmt.Fprintf(w, "reorder: sifts %+d, nodes freed %+d, pause %s\n",
+			rep.ReorderDelta, rep.ReorderFreedDelta, signedNS(rep.ReorderNSDelta))
 	}
 	if rep.Regressed {
 		fmt.Fprintf(w, "regression: %s (+%s beyond the %.0f%% threshold)\n",
